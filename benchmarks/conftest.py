@@ -1,0 +1,21 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The full four-pass study is expensive (tens of seconds), so it runs once
+per session; the per-figure benchmarks then time the trace analysis and
+rendering for their figure and assert the paper's qualitative shape.
+Benchmarks that need dedicated runs (Figure 6's overhead sweep, Figure
+10's per-benchmark runs) use ``benchmark.pedantic`` with a single round.
+"""
+
+import pytest
+
+from repro.study.passes import get_study
+
+#: Workload scale for benchmark runs (1.0 = the validated study scale).
+BENCH_SCALE = 1.0
+BENCH_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def study():
+    return get_study(BENCH_SCALE, BENCH_SEED)

@@ -1,0 +1,62 @@
+"""Ablation: host-FPU fast path vs canonical integer softfloat
+(DESIGN.md decision #1).
+
+The fast path must win decisively on mid-range arithmetic for the
+design to be worth its fallback complexity; these benches measure both
+implementations on identical operand streams.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fp.fastpath import FastSoftFPU
+from repro.fp.formats import BINARY64, float_to_bits64
+from repro.fp.softfloat import SoftFPU
+
+FAST = FastSoftFPU()
+SLOW = SoftFPU()
+
+rng = np.random.default_rng(42)
+VALUES = [float_to_bits64(float(v)) for v in rng.random(256) * 100 + 0.5]
+
+
+def _sweep(fpu, op):
+    out = 0
+    for i in range(0, 254):
+        if op == "add":
+            out ^= fpu.add(BINARY64, VALUES[i], VALUES[i + 1]).bits
+        elif op == "mul":
+            out ^= fpu.mul(BINARY64, VALUES[i], VALUES[i + 1]).bits
+        elif op == "div":
+            out ^= fpu.div(BINARY64, VALUES[i], VALUES[i + 1]).bits
+        else:
+            out ^= fpu.sqrt(BINARY64, VALUES[i]).bits
+    return out
+
+
+@pytest.mark.parametrize("impl", ["canonical", "fastpath"])
+@pytest.mark.parametrize("op", ["add", "mul", "div", "sqrt"])
+def test_fpu_sweep(benchmark, impl, op):
+    fpu = FAST if impl == "fastpath" else SLOW
+    result = benchmark(_sweep, fpu, op)
+    # Bit-identical outputs across implementations.
+    assert result == _sweep(SLOW if impl == "fastpath" else FAST, op)
+
+
+def test_fastpath_speedup_is_real(benchmark):
+    """Head-to-head inside one test: fast add beats canonical add."""
+    import time
+
+    def timeit(fn, n=20):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return time.perf_counter() - t0
+
+    def compare():
+        slow = timeit(lambda: _sweep(SLOW, "add"))
+        fast = timeit(lambda: _sweep(FAST, "add"))
+        return slow, fast
+
+    slow, fast = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert fast < slow

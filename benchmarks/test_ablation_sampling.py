@@ -1,0 +1,58 @@
+"""Ablation: Poisson-sampler coverage versus configuration
+(DESIGN.md decision #4).
+
+Verifies the PASTA-style property the study leans on: the fraction of
+events captured tracks the configured on-fraction across a sweep of
+duty cycles, and capture cost scales with coverage.
+"""
+
+import pytest
+
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+N_EVENTS = 4000
+
+
+def rounding_program():
+    layout = CodeLayout()
+    mul = layout.site("mulsd")
+
+    def main():
+        for _ in range(N_EVENTS):
+            yield FPInstruction(mul, ((b64(0.1), b64(0.1)),))
+            yield IntWork(500)
+
+    return main
+
+
+def run_with(env):
+    k = Kernel()
+    proc = k.exec_process(rounding_program(), env=env, name="sweep")
+    k.run()
+    return TraceSet.from_vfs(k.vfs).count()
+
+
+@pytest.mark.parametrize(
+    "poisson,expected_lo,expected_hi",
+    [
+        ("5000:95000", 0.01, 0.15),    # ~5% duty
+        ("20000:80000", 0.08, 0.40),   # ~20% duty
+        ("50000:50000", 0.30, 0.75),   # ~50% duty
+    ],
+)
+def test_sampler_coverage_tracks_duty_cycle(benchmark, poisson, expected_lo, expected_hi):
+    env = fpspy_env("individual", poisson=poisson, timer="virtual", seed=3)
+    captured = benchmark.pedantic(run_with, args=(env,), rounds=1, iterations=1)
+    fraction = captured / N_EVENTS
+    assert expected_lo <= fraction <= expected_hi, fraction
+
+
+def test_full_capture_is_total(benchmark):
+    env = fpspy_env("individual")
+    captured = benchmark.pedantic(run_with, args=(env,), rounds=1, iterations=1)
+    assert captured == N_EVENTS

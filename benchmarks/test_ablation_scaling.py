@@ -1,0 +1,72 @@
+"""Section 3.7 scaling claim: FPSpy is embarrassingly parallel.
+
+"Each thread in the application is monitored independently, with its
+trace data also being written to an independent log file ... there is a
+fixed overhead per thread."  We scale the thread count and verify (a)
+one log per thread, (b) per-thread event capture is complete at every
+width, and (c) the only I/O is appends.
+"""
+
+import pytest
+
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+EVENTS_PER_THREAD = 40
+
+
+def run_width(nthreads: int):
+    layout = CodeLayout()
+    div = layout.site("divsd")
+
+    def worker():
+        for _ in range(EVENTS_PER_THREAD):
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield IntWork(20)
+
+    def main():
+        for i in range(nthreads):
+            yield LibcCall("pthread_create", (worker, (), f"w{i}"))
+        yield IntWork(50)
+
+    k = Kernel()
+    proc = k.exec_process(main, env=fpspy_env("individual"), name="scale")
+    k.run()
+    return k, proc
+
+
+@pytest.mark.parametrize("nthreads", [1, 4, 16])
+def test_scaling_width(benchmark, nthreads):
+    k, proc = benchmark.pedantic(
+        run_width, args=(nthreads,), rounds=1, iterations=1
+    )
+    traces = TraceSet.from_vfs(k.vfs)
+    # One independent log per thread (plus the quiet main thread's).
+    logs = [p for p in traces.individual if not p.endswith(".meta")]
+    assert len(logs) == nthreads + 1
+    # Complete capture at every width.
+    assert traces.count() == nthreads * EVENTS_PER_THREAD
+    # Append-only I/O: every trace file was only ever appended to.
+    for path in k.vfs.listdir("trace/"):
+        f = k.vfs.open(path)
+        assert f.appends >= 1
+
+
+def test_per_thread_overhead_is_flat(benchmark):
+    """System time per event stays ~constant from 1 to 16 threads."""
+    def measure():
+        per_event = []
+        for n in (1, 16):
+            k, proc = run_width(n)
+            stime = sum(
+                t.stime_cycles for t in proc.tasks.values()
+            )
+            per_event.append(stime / (n * EVENTS_PER_THREAD))
+        return per_event
+
+    one, sixteen = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sixteen == pytest.approx(one, rel=0.25)

@@ -1,0 +1,49 @@
+"""Ablation: throughput of the softfloat core (DESIGN.md decision #1).
+
+The integer-mantissa softfloat is the foundation everything runs on; its
+per-operation cost bounds the whole simulator's speed.  These
+microbenchmarks record op throughput and sanity-check relative costs
+(division and square root are the expensive ops, as on real hardware).
+"""
+
+import pytest
+
+from repro.fp.formats import BINARY64, float_to_bits64
+from repro.fp.softfloat import SoftFPU
+
+FPU = SoftFPU()
+A = float_to_bits64(1.2345678901234567)
+B = float_to_bits64(3.9876543210987654)
+C = float_to_bits64(-0.777)
+
+
+@pytest.mark.parametrize(
+    "op",
+    ["add", "mul", "div", "sqrt", "fma", "min", "compare"],
+)
+def test_softfloat_op_throughput(benchmark, op):
+    if op == "add":
+        benchmark(lambda: FPU.add(BINARY64, A, B))
+    elif op == "mul":
+        benchmark(lambda: FPU.mul(BINARY64, A, B))
+    elif op == "div":
+        benchmark(lambda: FPU.div(BINARY64, A, B))
+    elif op == "sqrt":
+        benchmark(lambda: FPU.sqrt(BINARY64, A))
+    elif op == "fma":
+        benchmark(lambda: FPU.fma(BINARY64, A, B, C))
+    elif op == "min":
+        benchmark(lambda: FPU.min(BINARY64, A, B))
+    elif op == "compare":
+        benchmark(lambda: FPU.compare(BINARY64, A, B))
+
+
+def test_round_pack_throughput(benchmark):
+    from repro.fp.rounding import RoundingMode, round_pack
+
+    mant = (1 << 60) + 12345
+
+    def run():
+        return round_pack(BINARY64, RoundingMode.NEAREST, 0, mant, -30)
+
+    benchmark(run)

@@ -1,0 +1,33 @@
+"""Figure 6: overhead of FPSpy for Miniaero in various configurations.
+
+Paper shape: aggregate-mode and individual-mode-with-filtering have
+virtually no overhead; Poisson-sampled rounding capture rises with the
+sampling rate, to about 2x at 50%, with system time (kernel crossings)
+the major growing component.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.study.figures import fig06_overhead
+
+
+def test_fig06_overhead(benchmark):
+    result = benchmark.pedantic(
+        fig06_overhead, args=(BENCH_SCALE, BENCH_SEED), rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    rows = {r["config"]: r for r in result.data["rows"]}
+    base = rows["no-fpspy"]["wall"]
+
+    # Aggregate mode: virtually zero overhead.
+    assert rows["aggregate"]["wall"] / base < 1.02
+    # Individual mode without Inexact: still near-zero.
+    assert rows["individual+filter"]["wall"] / base < 1.25
+    # Sampling overhead grows monotonically with the sampling rate.
+    s5 = rows["sampling 5000:100000"]["wall"]
+    s10 = rows["sampling 10000:100000"]["wall"]
+    s50 = rows["sampling 50000:100000"]["wall"]
+    assert base <= s5 < s10 < s50
+    # Peak slowdown in the paper's ballpark (~2x), and bounded.
+    assert 1.3 < s50 / base < 4.0
+    # System time is a major component of the sampled configurations.
+    assert rows["sampling 50000:100000"]["system"] > 5 * rows["aggregate"]["system"]

@@ -1,0 +1,26 @@
+"""Figure 9: aggregate-mode tracing event table for the applications."""
+
+from repro.study.figures import fig09_aggregate
+
+#: The paper's Figure 9, row by row.
+PAPER_FIG9 = {
+    "Miniaero": {"Denorm", "Underflow", "Inexact"},
+    "LAMMPS": {"Inexact"},
+    "LAGHOS": {"DivideByZero", "Underflow", "Inexact"},
+    "MOOSE": {"Inexact"},
+    "WRF": set(),
+    "ENZO": {"Invalid", "Inexact"},
+    "PARSEC 3.0": {"DivideByZero", "Invalid", "Denorm", "Underflow",
+                   "Overflow", "Inexact"},
+    "NAS 3.0": {"Inexact"},
+    "GROMACS": {"Denorm", "Underflow", "Inexact"},
+}
+
+
+def test_fig09_aggregate(benchmark, study):
+    result = benchmark(fig09_aggregate, study)
+    print("\n" + result.text)
+    table = result.data["table"]
+    for name, expected in PAPER_FIG9.items():
+        got = {c for c, present in table[name].items() if present}
+        assert got == expected, f"{name}: {sorted(got)} != {sorted(expected)}"

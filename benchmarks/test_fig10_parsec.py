@@ -1,0 +1,46 @@
+"""Figure 10: aggregate-mode tracing of each PARSEC benchmark."""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.study.figures import fig10_parsec
+
+#: The paper's Figure 10, row by row (simlarge problem size; note the
+#: caption: this size produced no Overflow).
+PAPER_FIG10 = {
+    "ext/barnes": {"Inexact"},
+    "blackscholes": {"Underflow", "Inexact"},
+    "bodytrack": {"Inexact"},
+    "canneal": {"Denorm", "Underflow", "Inexact"},
+    "ext/cholesky": {"DivideByZero", "Inexact"},
+    "dedup": {"Inexact"},
+    "facesim": {"Inexact"},
+    "ferret": {"Inexact"},
+    "fluidanimate": {"Inexact"},
+    "ext/fmm": {"Inexact"},
+    "freqmine": {"Inexact"},
+    "ext/lu_cb": {"Invalid", "Inexact"},
+    "ext/lu_ncb": {"Invalid", "Inexact"},
+    "ext/ocean_cp": {"Inexact"},
+    "ext/ocean_ncp": {"Inexact"},
+    "ext/radiosity": {"Inexact"},
+    "ext/radix": {"Inexact"},
+    "raytrace": {"Inexact"},
+    "streamcluster": {"Inexact"},
+    "swaptions": {"Inexact"},
+    "vips": {"Inexact"},
+    "ext/volrend": {"Inexact"},
+    "ext/water_nsquared": {"Underflow", "Inexact"},
+    "ext/water_spatial": {"Inexact"},
+    "x.264": {"Invalid", "Inexact"},
+}
+
+
+def test_fig10_parsec(benchmark):
+    result = benchmark.pedantic(
+        fig10_parsec, args=(BENCH_SCALE, BENCH_SEED), rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    table = result.data["table"]
+    assert len(table) == 25
+    for name, expected in PAPER_FIG10.items():
+        got = {c for c, present in table[name].items() if present}
+        assert got == expected, f"{name}: {sorted(got)} != {sorted(expected)}"

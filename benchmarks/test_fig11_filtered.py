@@ -1,0 +1,26 @@
+"""Figure 11: individual-mode tracing with filtering (no Inexact)."""
+
+from repro.study.figures import fig11_filtered
+
+#: The paper's Figure 11 (full instruction coverage, Inexact untracked).
+PAPER_FIG11 = {
+    "Miniaero": {"Denorm", "Underflow", "Overflow"},
+    "LAMMPS": set(),
+    "LAGHOS": {"DivideByZero"},
+    "MOOSE": set(),
+    "WRF": set(),
+    "ENZO": {"Invalid"},
+    "PARSEC 3.0": {"DivideByZero", "Invalid", "Denorm", "Underflow",
+                   "Overflow"},
+    "NAS 3.0": set(),
+    "GROMACS": {"Denorm", "Underflow"},
+}
+
+
+def test_fig11_filtered(benchmark, study):
+    result = benchmark(fig11_filtered, study)
+    print("\n" + result.text)
+    table = result.data["table"]
+    for name, expected in PAPER_FIG11.items():
+        got = {c for c, present in table[name].items() if present}
+        assert got == expected, f"{name}: {sorted(got)} != {sorted(expected)}"

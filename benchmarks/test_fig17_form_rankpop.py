@@ -1,0 +1,29 @@
+"""Figure 17: rank-popularity of rounding instruction forms.
+
+Paper shape: even the most extreme code uses fewer than 45 forms; most
+use 20 or fewer; the distribution is heavily skewed, with fewer than ~5
+forms covering >99% of rounding for most codes.
+"""
+
+from repro.study.figures import fig17_form_rankpop
+
+
+def test_fig17_form_rankpop(benchmark, study):
+    result = benchmark(fig17_form_rankpop, study)
+    print("\n" + result.text)
+    stats = result.data["stats"]
+    assert stats, "no rounding records found"
+
+    n_forms = {c: s["n_forms"] for c, s in stats.items()}
+    rank99 = {c: s["rank99"] for c, s in stats.items()}
+
+    # Fewer than 45 forms for every code; most codes 20 or fewer.
+    assert max(n_forms.values()) < 45
+    at_most_20 = sum(1 for v in n_forms.values() if v <= 20)
+    assert at_most_20 >= 0.6 * len(n_forms)
+
+    # Heavy skew: for most codes a small handful of forms covers >99%.
+    small_head = sum(1 for v in rank99.values() if v <= 8)
+    assert small_head >= 0.5 * len(rank99)
+    # And the head never exceeds the paper's bound by much.
+    assert max(rank99.values()) < 45

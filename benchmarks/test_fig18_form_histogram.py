@@ -1,0 +1,33 @@
+"""Figure 18: per-form count of codes showing rounding, and the
+GROMACS-only form set.
+
+Paper shape: 39 instruction forms cover every code other than GROMACS;
+GROMACS uses 25 forms seen nowhere else (its AVX/FMA kernels) plus 16
+shared forms; the common scalar-double arithmetic forms are used by
+nearly every code.
+"""
+
+from repro.isa.forms import SSE_FORMS
+from repro.study.figures import fig18_form_histogram
+
+
+def test_fig18_form_histogram(benchmark, study):
+    result = benchmark(fig18_form_histogram, study)
+    print("\n" + result.text)
+
+    # Exactly the paper's 25 GROMACS-only forms.
+    gromacs_only = set(result.data["gromacs_only"])
+    assert len(gromacs_only) == 25
+    assert "vfmaddps" in gromacs_only and "cvtsi2sdq" in gromacs_only
+
+    # The non-GROMACS codes collectively exercise all 39 shared forms.
+    histogram = result.data["histogram"]
+    sse = {f.mnemonic for f in SSE_FORMS}
+    assert set(histogram) == sse
+    assert len(histogram) == 39
+
+    # Core arithmetic is near-universal; exotic forms are rare.
+    assert histogram["mulsd"] >= 30
+    assert histogram["addsd"] >= 30
+    assert histogram["dppd"] <= 3
+    assert histogram["roundpd"] <= 3

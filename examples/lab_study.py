@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Spying in the lab (paper Figure 1(c)): the full analyst workflow.
+
+An analyst takes one application (LAGHOS), runs it aggressively under
+individual-mode FPSpy, and works the traces: which events, from which
+instructions, with what temporal structure, and what the rounding
+locality looks like -- the exact methodology of the paper's sections
+4-6, on one code.
+
+Run:  python examples/lab_study.py
+"""
+
+from repro.analysis.rankpop import address_rankpop, form_rankpop
+from repro.analysis.timeline import burstiness, rate_series
+from repro.apps import LAGHOS
+from repro.apps.base import mpi_launch
+from repro.fpspy import fpspy_env
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+
+def run(env) -> tuple[Kernel, TraceSet]:
+    kernel = Kernel()
+    mpi_launch(kernel, lambda r: LAGHOS(scale=1.0, rank=r), 2, env, "laghos")
+    kernel.run()
+    return kernel, TraceSet.from_vfs(kernel.vfs)
+
+
+def main():
+    # Pass 1: find the problems (every event except rounding, no sampling;
+    # in the lab we can afford the overhead).
+    env = fpspy_env(
+        "individual",
+        except_list="DivideByZero,Invalid,Denorm,Underflow,Overflow",
+        aggressive=True,  # lab setting: don't step aside for signal use
+    )
+    _, traces = run(env)
+    records = list(traces.all_records())
+    print(f"pass 1: {len(records)} problematic-event records")
+
+    by_event = {}
+    for rec in records:
+        for ev in rec.events:
+            by_event.setdefault(ev, []).append(rec)
+    for ev, recs in sorted(by_event.items()):
+        sites = sorted({f"0x{r.rip:x}" for r in recs})
+        print(f"  {ev:<14s} {len(recs):>6d} events from sites {', '.join(sites)}")
+
+    dbz = by_event.get("DivideByZero", [])
+    print(f"\ntemporal structure: DivideByZero burstiness "
+          f"(max gap / median gap) = {burstiness(dbz):.0f}")
+    centers, rates = rate_series(dbz, bins=24)
+    peak = max(rates) if len(rates) else 0
+    print(f"  peak burst rate {peak:,.0f} events/s "
+          f"(the Figure 13 spikes)")
+
+    # Pass 2: characterize rounding with 5% Poisson sampling.
+    env = fpspy_env("individual", poisson="5000:100000", timer="virtual", seed=7)
+    _, traces = run(env)
+    records = list(traces.all_records())
+    forms = form_rankpop(records, event="Inexact")
+    addrs = address_rankpop(records, event="Inexact")
+    print(f"\npass 2: {len(records)} sampled records; rounding locality:")
+    print(f"  instruction forms used: {len(forms)}; "
+          f"top-{forms.coverage_rank(0.99)} cover 99%")
+    print(f"  static sites rounding:  {len(addrs)}; "
+          f"top-{addrs.coverage_rank(0.99)} cover 99%")
+    print("  hottest rounding forms:",
+          ", ".join(f"{m} ({c})" for m, c in forms.top(4)))
+    print("\n=> a trap-and-emulate mitigation needs to patch only a handful")
+    print("   of sites to cover essentially all rounding (paper section 6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: spy on an unmodified program's floating point behavior.
+
+This is the FPSpy "hello world": a small guest program with a hidden
+floating point problem (a divide-by-zero in a normalization step) runs
+on the simulated machine, first in aggregate mode (which events
+occurred?), then in individual mode (which *instructions* caused them?).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+# ----------------------------------------------------------------------
+# The "application binary": the developer wrote this; we never touch it.
+# ----------------------------------------------------------------------
+
+layout = CodeLayout()
+SITE_SUM = layout.site("addsd")
+SITE_NORM = layout.site("divsd")  # <- normalizes by a sum that can be 0
+SITE_SCALE = layout.site("mulsd")
+
+
+def application():
+    """Average some sensor batches; one batch is empty."""
+    batches = [[1.5, 2.5, 3.0], [4.0, 4.5], [], [0.5]]
+    for batch in batches:
+        total = b64(0.0)
+        for value in batch:
+            (total,) = yield FPInstruction(SITE_SUM, ((total, b64(value)),))
+        # BUG: no guard for the empty batch -- computes 0.0/0.0.
+        (mean,) = yield FPInstruction(SITE_NORM, ((total, b64(len(batch))),))
+        (_scaled,) = yield FPInstruction(SITE_SCALE, ((mean, b64(100.0)),))
+        yield IntWork(50)
+
+
+def run(env, name):
+    kernel = Kernel()
+    process = kernel.exec_process(application, env=env, name=name)
+    kernel.run()
+    assert process.exit_code == 0, "the app runs to completion either way"
+    return TraceSet.from_vfs(kernel.vfs)
+
+
+def main():
+    # 1. No FPSpy: the program runs, the problem is invisible.
+    traces = run({}, "plain")
+    print("without FPSpy:     no trace files:", len(traces.aggregate) == 0)
+
+    # 2. Aggregate mode: one %mxcsr write + read reveals the event set.
+    traces = run(fpspy_env("aggregate"), "sensor-avg")
+    rec = traces.aggregate[0]
+    print(f"aggregate mode:    events = {', '.join(rec.events)}")
+
+    # 3. Individual mode: every faulting instruction, with full context.
+    traces = run(fpspy_env("individual"), "sensor-avg")
+    print("individual mode:   faulting instructions:")
+    for rec in traces.all_records():
+        print(
+            f"  rip=0x{rec.rip:06x}  {rec.mnemonic:<7s} "
+            f"{','.join(rec.events):<22s} t={rec.time*1e6:8.2f}us"
+        )
+
+    # The Invalid record (0/0 -> NaN) points at SITE_NORM -- the buggy
+    # line -- and the produced NaN then propagates through the scaling.
+    bad = [r for r in traces.all_records() if "Invalid" in r.events]
+    assert bad and all(r.rip == SITE_NORM.address for r in bad)
+    print(f"\nthe Invalid (0/0) comes from rip=0x{SITE_NORM.address:x} "
+          f"(the unguarded normalization) -- found without touching the app")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Rounding mitigation by trap-and-emulate (paper section 6, realized).
+
+The paper closes by proposing a system that traps rounding instructions
+and re-executes them in arbitrary precision "underneath existing,
+unmodified binaries".  This example runs one: an unmodified guest
+program with a catastrophic cancellation gets bit-exact results under
+``mpe.so`` -- and, using an FPSpy profile, patching *only the two hot
+sites* is enough (the locality argument of Figures 17/19).
+
+Run:  python examples/rounding_mitigation.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis.rankpop import address_rankpop
+from repro.fp.formats import bits64_to_float, float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.mpe import mpe_env, relative_error
+from repro.trace.reader import TraceSet
+
+N = 500
+EXACT = Fraction(N)  # 1e16 + N*1.0 - 1e16 == N
+
+layout = CodeLayout()
+S_ACC = layout.site("addsd")
+S_FIN = layout.site("subsd")
+S_MISC = layout.site("mulsd")
+result = {}
+
+
+def application():
+    """Accumulate N unit payments on top of a huge opening balance."""
+    acc = b64(1e16)
+    for _ in range(N):
+        (acc,) = yield FPInstruction(S_ACC, ((acc, b64(1.0)),))
+        (_fee,) = yield FPInstruction(S_MISC, ((acc, b64(1.000001)),))
+    (net,) = yield FPInstruction(S_FIN, ((acc, b64(1e16)),))
+    result["net"] = bits64_to_float(net)
+
+
+def run(env):
+    kernel = Kernel()
+    kernel.exec_process(application, env=env, name="ledger")
+    kernel.run()
+    return kernel
+
+
+def main():
+    # 1. Native double: every unit payment vanishes into the big balance.
+    run({})
+    native = result["net"]
+    print(f"native double:        net = {native!r}   "
+          f"(relative error {relative_error(native, EXACT):.3f})")
+
+    # 2. Profile with FPSpy to find where rounding happens.
+    kernel = run(fpspy_env("individual"))
+    traces = TraceSet.from_vfs(kernel.vfs)
+    profile = address_rankpop(list(traces.all_records()), event="Inexact")
+    hot = [addr for addr, _count in profile.top(2)]
+    print(f"FPSpy profile:        {len(profile)} rounding sites; "
+          f"hottest two: {', '.join(hex(a) for a in hot)}")
+
+    # 3. Emulate everything at 128-bit precision: exact answer.
+    run(mpe_env(precision=128))
+    full = result["net"]
+    print(f"mpe (all sites):      net = {full!r}   "
+          f"(relative error {relative_error(full, EXACT):.3f})")
+
+    # 4. Patch only the profiled hot sites: same answer, less emulation.
+    run(mpe_env(precision=128, sites=hot + [S_FIN.address]))
+    targeted = result["net"]
+    print(f"mpe (3 sites only):   net = {targeted!r}   "
+          f"(relative error {relative_error(targeted, EXACT):.3f})")
+
+    assert native == 0.0 and full == float(N) and targeted == float(N)
+    print("\nexisting, unmodified binary; exact results; patched sites only")
+
+
+if __name__ == "__main__":
+    main()

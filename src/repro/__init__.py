@@ -1,0 +1,26 @@
+"""FPSpy reproduction: spying on the floating point behavior of
+existing, unmodified applications, on a simulated x64/Linux substrate.
+
+Reproduces Dinda, Bernat & Hetland, *"Spying on the Floating Point
+Behavior of Existing, Unmodified Scientific Applications"* (HPDC 2020).
+
+Layer map (bottom up):
+
+``repro.fp``         bit-exact software IEEE-754 with x64 MXCSR semantics
+``repro.isa``        the SSE/AVX instruction-form catalogue and semantics
+``repro.machine``    the CPU: precise faults, single-step traps, cycles
+``repro.kernel``     signals/mcontext, tasks, processes, timers, VFS
+``repro.loader``     ld.so with LD_PRELOAD interposition + libc surface
+``repro.guest``      guest-program authoring (generator op streams)
+``repro.fpspy``      FPSpy itself (the paper's contribution)
+``repro.trace``      binary + aggregate trace formats and readers
+``repro.apps``       the study's nine application/benchmark targets
+``repro.analysis``   event tables, timelines, rank-popularity
+``repro.study``      the four-pass methodology + all figure renderers
+``repro.mpe``        section 6 realized: trap-and-emulate precision
+``repro.validation`` the paper's section 5 validation matrix
+
+Start with ``examples/quickstart.py`` or ``python -m repro.study report``.
+"""
+
+__version__ = "1.0.0"

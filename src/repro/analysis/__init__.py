@@ -1,0 +1,33 @@
+"""Trace analysis: the paper's section 5 and 6 methodology.
+
+Turns raw FPSpy trace sets into the artifacts the paper reports:
+
+* event tables (which conditions occurred per code -- Figures 9-11, 14);
+* event-rate timelines (Figures 12, 13) and cumulative curves (Fig. 16);
+* Inexact counts and rates (Figure 15);
+* rank-popularity analyses over instruction *form* and instruction
+  *address* (Figures 17-19), including the coverage statistics
+  ("fewer than 5 forms cover >99% of rounding") the trap-and-emulate
+  feasibility argument of section 6 rests on.
+"""
+
+from repro.analysis.events import EventTable, event_set, inexact_stats
+from repro.analysis.timeline import cumulative_series, rate_series
+from repro.analysis.rankpop import (
+    RankPopularity,
+    address_rankpop,
+    form_rankpop,
+    form_histogram,
+)
+
+__all__ = [
+    "EventTable",
+    "event_set",
+    "inexact_stats",
+    "cumulative_series",
+    "rate_series",
+    "RankPopularity",
+    "address_rankpop",
+    "form_rankpop",
+    "form_histogram",
+]

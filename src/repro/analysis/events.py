@@ -1,0 +1,76 @@
+"""Event tables and Inexact statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fp.flags import EVENT_ORDER, Flag, flags_to_events
+from repro.trace.reader import TraceSet
+
+
+def event_set(traces: TraceSet, include_aggregate: bool = True) -> set[str]:
+    """The set of event names present anywhere in a trace set.
+
+    Aggregate records from threads where FPSpy had stepped aside are
+    ignored (their sticky state is untrustworthy -- the WRF rule).
+    """
+    flags = Flag.NONE
+    if include_aggregate:
+        for rec in traces.aggregate:
+            if not rec.disabled:
+                flags |= rec.flags
+    for rec in traces.all_records():
+        flags |= rec.flags
+    return set(flags_to_events(flags))
+
+
+@dataclass
+class EventTable:
+    """A Figure 9/10/11/14-style table: rows of T/f per event column."""
+
+    columns: tuple[str, ...] = EVENT_ORDER
+    rows: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, name: str, events: set[str]) -> None:
+        self.rows[name] = set(events)
+
+    def cell(self, name: str, column: str) -> bool:
+        return column in self.rows[name]
+
+    def render(self, title: str = "") -> str:
+        width = max((len(n) for n in self.rows), default=8) + 2
+        out = []
+        if title:
+            out.append(title)
+        header = " " * width + "  ".join(f"{c:>13s}" for c in self.columns)
+        out.append(header)
+        for name, events in self.rows.items():
+            cells = "  ".join(
+                f"{'T' if c in events else 'f':>13s}" for c in self.columns
+            )
+            out.append(f"{name:<{width}s}{cells}")
+        return "\n".join(out) + "\n"
+
+    def as_dict(self) -> dict[str, dict[str, bool]]:
+        return {
+            name: {c: c in events for c in self.columns}
+            for name, events in self.rows.items()
+        }
+
+
+@dataclass(frozen=True)
+class InexactStats:
+    """One row of Figure 15."""
+
+    name: str
+    count: int
+    wall_seconds: float
+
+    @property
+    def rate(self) -> float:
+        return self.count / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def inexact_stats(name: str, traces: TraceSet, wall_seconds: float) -> InexactStats:
+    count = sum(1 for r in traces.all_records() if Flag.PE in r.flags)
+    return InexactStats(name=name, count=count, wall_seconds=wall_seconds)

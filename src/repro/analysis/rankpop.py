@@ -1,0 +1,113 @@
+"""Rank-popularity analyses (paper section 6, Figures 17-19).
+
+The feasibility argument for trap-and-emulate precision mitigation rests
+on locality: a handful of instruction *forms* and a few hundred
+instruction *addresses* account for essentially all rounding.  These
+helpers compute the distributions and the coverage statistics the paper
+quotes ("fewer than 5 instruction forms cover >99%", "<100 instructions
+account for >99% of the rounding events").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.fp.flags import NAME_TO_FLAG
+from repro.isa.instruction import decode_form
+from repro.trace.records import IndividualRecord
+
+
+@dataclass(frozen=True)
+class RankPopularity:
+    """A rank-ordered popularity distribution."""
+
+    keys: tuple  #: keys in descending count order
+    counts: np.ndarray  #: matching counts, descending
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def coverage_rank(self, fraction: float) -> int:
+        """Smallest number of top keys covering >= ``fraction`` of events."""
+        if self.total == 0:
+            return 0
+        cumulative = np.cumsum(self.counts) / self.total
+        return int(np.searchsorted(cumulative, fraction) + 1)
+
+    def top(self, k: int) -> list[tuple[object, int]]:
+        return [(self.keys[i], int(self.counts[i])) for i in range(min(k, len(self.keys)))]
+
+    def skew(self) -> float:
+        """Head/tail imbalance: top-1 count over mean count."""
+        if len(self.counts) == 0:
+            return 0.0
+        return float(self.counts[0] / self.counts.mean())
+
+
+def _filtered(records: Iterable[IndividualRecord], event: str | None):
+    flag = NAME_TO_FLAG[event] if event else None
+    for r in records:
+        if flag is None or (r.flags & flag):
+            yield r
+
+
+def _rankpop(counter: Counter) -> RankPopularity:
+    items = counter.most_common()
+    keys = tuple(k for k, _ in items)
+    counts = np.asarray([c for _, c in items], dtype=np.int64)
+    return RankPopularity(keys=keys, counts=counts)
+
+
+def form_rankpop(
+    records: Iterable[IndividualRecord], event: str | None = "Inexact"
+) -> RankPopularity:
+    """Rank-popularity of instruction forms (Figure 17)."""
+    counter = Counter(
+        decode_form(r.insn).mnemonic for r in _filtered(records, event)
+    )
+    return _rankpop(counter)
+
+
+def address_rankpop(
+    records: Iterable[IndividualRecord], event: str | None = "Inexact"
+) -> RankPopularity:
+    """Rank-popularity of instruction addresses (Figure 19)."""
+    counter = Counter(r.rip for r in _filtered(records, event))
+    return _rankpop(counter)
+
+
+def form_histogram(
+    per_code_forms: Mapping[str, set[str]],
+    exclude: tuple[str, ...] = (),
+) -> Counter:
+    """Figure 18: for each form, how many codes use it.
+
+    ``per_code_forms`` maps code name -> set of forms observed in its
+    traces; ``exclude`` removes codes (the paper plots GROMACS separately).
+    """
+    counter: Counter = Counter()
+    for code, forms in per_code_forms.items():
+        if code in exclude:
+            continue
+        for form in forms:
+            counter[form] += 1
+    return counter
+
+
+def forms_only_in(
+    per_code_forms: Mapping[str, set[str]], code: str
+) -> set[str]:
+    """Forms used by ``code`` and no other code (GROMACS's 25)."""
+    mine = set(per_code_forms.get(code, set()))
+    for other, forms in per_code_forms.items():
+        if other != code:
+            mine -= forms
+    return mine

@@ -1,0 +1,79 @@
+"""Temporal analyses: event-rate series and cumulative curves.
+
+Figure 12 plots the rate of Invalid events over ENZO's execution;
+Figure 13 zooms into LAGHOS's DivideByZero bursts; Figure 16 plots the
+cumulative Inexact count per application over the start of execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.fp.flags import NAME_TO_FLAG, Flag
+from repro.trace.records import IndividualRecord
+
+
+def _times(records: Iterable[IndividualRecord], event: str | None) -> np.ndarray:
+    flag = NAME_TO_FLAG[event] if event else None
+    times = [
+        r.time
+        for r in records
+        if flag is None or (r.flags & flag)
+    ]
+    return np.asarray(sorted(times), dtype=np.float64)
+
+
+def rate_series(
+    records: Iterable[IndividualRecord],
+    event: str | None = None,
+    bins: int = 60,
+    t_start: float | None = None,
+    t_end: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Events/second over time.
+
+    Returns ``(bin_centers, rates)``.  ``event`` restricts to one event
+    name (e.g. "Invalid" for Figure 12); ``t_start``/``t_end`` zoom in
+    (Figure 13).
+    """
+    times = _times(records, event)
+    if times.size == 0:
+        return np.empty(0), np.empty(0)
+    lo = times[0] if t_start is None else t_start
+    hi = times[-1] if t_end is None else t_end
+    if hi <= lo:
+        hi = lo + 1e-9
+    counts, edges = np.histogram(times, bins=bins, range=(lo, hi))
+    widths = np.diff(edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts / widths
+
+
+def cumulative_series(
+    records: Iterable[IndividualRecord],
+    event: str | None = "Inexact",
+    until: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative event count versus time (Figure 16).
+
+    Returns ``(times, cumulative_counts)``; ``until`` truncates to the
+    first N seconds of execution.
+    """
+    times = _times(records, event)
+    if until is not None and times.size:
+        times = times[times <= times[0] + until]
+    return times, np.arange(1, times.size + 1, dtype=np.int64)
+
+
+def burstiness(records: Iterable[IndividualRecord], event: str | None = None) -> float:
+    """Max-gap / median-gap ratio: >> 1 for bursty event streams."""
+    times = _times(records, event)
+    if times.size < 3:
+        return 0.0
+    gaps = np.diff(times)
+    med = float(np.median(gaps))
+    if med == 0.0:
+        return float("inf")
+    return float(np.max(gaps) / med)

@@ -1,0 +1,52 @@
+"""Synthetic stand-ins for the paper's applications and benchmark suites.
+
+The study (paper section 4, Figure 7) covers seven applications and two
+benchmark suites totalling ~7.5M lines of source.  We cannot ship those
+codes, so each is replaced by a synthetic guest program engineered to
+reproduce the properties the study measures:
+
+* the *event signature* -- which of the six conditions each code raises
+  (Figures 9, 10, 11, 14);
+* the *temporal structure* of events -- ENZO's persistent NaN drizzle
+  (Figure 12), LAGHOS's DivideByZero bursts (Figure 13);
+* the *static symbol inventory* the source-analysis pass greps for
+  (Figure 8), including symbols present but never executed;
+* the *instruction-form and address locality* of rounding (Figures
+  17-19): few hot loop sites dominating, GROMACS alone using AVX forms;
+* the *parallelism model*: threads, OpenMP-style thread teams, and
+  MPI-style process groups.
+
+Every application accepts a ``scale`` parameter; default scales give
+runs of 10^4-10^5 dynamic FP instructions (the real study's 10^8-10^11
+scaled down), which preserves every *shape* the evaluation reports.
+"""
+
+from repro.apps.base import SimApp, AppRegistry, APPLICATIONS
+from repro.apps.miniaero import Miniaero
+from repro.apps.lammps import LAMMPS
+from repro.apps.laghos import LAGHOS
+from repro.apps.moose import MOOSE
+from repro.apps.wrf import WRF
+from repro.apps.enzo import ENZO
+from repro.apps.gromacs import GROMACS
+from repro.apps.parsec import PARSECSuite, PARSEC_BENCHMARKS, make_parsec_benchmark
+from repro.apps.nas import NASSuite, NAS_KERNELS, make_nas_kernel
+
+__all__ = [
+    "SimApp",
+    "AppRegistry",
+    "APPLICATIONS",
+    "Miniaero",
+    "LAMMPS",
+    "LAGHOS",
+    "MOOSE",
+    "WRF",
+    "ENZO",
+    "GROMACS",
+    "PARSECSuite",
+    "PARSEC_BENCHMARKS",
+    "make_parsec_benchmark",
+    "NASSuite",
+    "NAS_KERNELS",
+    "make_nas_kernel",
+]

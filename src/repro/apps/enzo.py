@@ -1,0 +1,87 @@
+"""ENZO: adaptive mesh refinement astrophysics (GalaxySimulation).
+
+Paper profile:
+
+* ~307k lines (C/Fortran/Python); depends on HDF5 and MPI; 27m.
+* Static analysis: only ``clone`` (Figure 8).
+* Events: **Invalid** (NaNs!) plus Inexact (Figure 9).  The NaNs are not
+  a one-off: Figure 12 shows Invalid events arriving at 3-12 events per
+  second *throughout* essentially the whole execution -- a persistent
+  drizzle, not a burst.
+
+Synthetic kernel: a gas-dynamics update over AMR patches in which
+refinement-boundary cells are occasionally left uninitialized as
+signaling NaNs (the classic AMR ghost-zone bug); every timestep a few of
+them are consumed by the flux stencil, raising Invalid.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp
+from repro.fp.formats import BINARY64, float_to_bits64
+from repro.isa.instruction import FPInstruction
+
+#: A signaling NaN ("uninitialized ghost zone" pattern).
+SNAN_BITS = 0x7FF0000000000BAD
+
+
+class ENZO(SimApp):
+    name = "enzo"
+    languages = ("C", "Fortran", "Python")
+    loc = 307_000
+    dependencies = ("HDF5", "MPI")
+    problem = "GalaxySimulation"
+    parallelism = "mpi"
+    paper_exec_time = "26m 37.805s"
+    static_symbols = frozenset({"clone"})
+
+    INT_PER_FP = 9450  # Inexact rate ~222k/s (Figure 15)
+
+    def __init__(self, scale: float = 1.0, variant: str = "default",
+                 seed: int = 1234, rank: int = 0, nranks: int = 2):
+        self.rank = rank
+        self.nranks = nranks
+        super().__init__(scale=scale, variant=variant, seed=seed + rank)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        self.s_fluxl = kb.site("subsd", key="fluxl")
+        self.s_fluxr = kb.site("mulsd", key="fluxr")
+        self.s_upd = kb.site("addsd", key="upd")
+        self.s_pdiv = kb.site("divsd", key="pdiv")
+        self.s_cs = kb.site("sqrtsd", key="cs")
+        self.s_ghost = kb.site("addsd", key="ghost")  # the NaN consumer
+        self.s_emin = kb.site("minsd", key="emin")
+        self.cold = self.cold_sites(
+            ["addsd", "mulsd", "subsd", "divsd", "cvtsi2sd"], 110
+        )
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(128) + 0.5)
+        n = self.n(24)
+        steps = self.n(95)
+        rho = 1.0 + 0.2 * self.nprng.random(n)
+        egy = 2.0 + 0.1 * self.nprng.random(n)
+
+        for _step in range(steps):
+            dl = yield from self.stream(self.s_fluxl, rho, np.roll(rho, 1))
+            fr = yield from self.stream(self.s_fluxr, dl, egy)
+            rho = yield from self.stream(self.s_upd, rho, 1e-3 * fr)
+            pr = yield from self.stream(self.s_pdiv, egy, rho)
+            _cs = yield from self.stream(self.s_cs, np.abs(pr))
+            _em = yield from self.stream(self.s_emin, egy, np.abs(pr) + 0.1)
+            egy = egy * 0.9995 + 0.001
+
+            # The persistent NaN drizzle (Figure 12): each step, one or two
+            # refinement-boundary cells consume an uninitialized SNaN.
+            for _ in range(1 + (self.rng.random() < 0.4)):
+                good = float_to_bits64(float(egy[self.rng.randrange(n)]))
+                _ = yield FPInstruction(self.s_ghost, ((SNAN_BITS, good),))
+                yield from self.idle(self.INT_PER_FP)
+
+
+APPLICATIONS.register("enzo", ENZO)

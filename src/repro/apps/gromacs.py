@@ -1,0 +1,205 @@
+"""GROMACS: molecular dynamics (1AKI lysozyme in water).
+
+Paper profile:
+
+* ~1M lines (C++/C); depends on MPI, an MKL-like BLAS, and OpenMP; the
+  longest run of the study (222m).
+* Static analysis: contains ``clone``, ``pthread_create``,
+  ``pthread_exit``, ``sigaction``, ``feenableexcept``,
+  ``fedisableexcept`` and references ``SIGFPE`` (Figure 8) -- none
+  executed in the study problem.
+* Events: Denorm, Underflow, Inexact (Figure 9); the 5%-sampled pass
+  catches only Inexact (Figure 14) because the Denorm/Underflow events
+  cluster into a few short phases.
+* **Instruction forms**: GROMACS is the outlier of Figure 18 -- its
+  hand-vectorized single-precision kernels use 25 forms no other studied
+  code touches (AVX/FMA packed-single and VEX-scalar forms), plus 16
+  forms shared with the other codes.
+
+Synthetic kernel: nonbonded short-range interactions in packed
+single-precision (8-lane AVX shapes), with a double-precision "bonded"
+path exercising the shared SSE forms, running on an OpenMP-style thread
+team.  Water-shell collapse phases generate clustered float32
+underflows/denormals.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp, spawn_threads
+from repro.guest.ops import LibcCall
+
+#: The 16 SSE forms GROMACS shares with the rest of the study's codes.
+SHARED_FORMS = (
+    "addsd", "subsd", "mulsd", "divsd", "sqrtsd",
+    "addss", "subss", "mulss", "divss", "sqrtss",
+    "minss", "maxss", "ucomisd", "cvtsi2sd", "cvtss2sd", "cvtsd2ss",
+)
+
+
+class GROMACS(SimApp):
+    name = "gromacs"
+    languages = ("C++", "C")
+    loc = 1_000_000
+    dependencies = ("MPI", "MKL", "OpenMP")
+    problem = "1AKI in Water"
+    parallelism = "openmp"
+    paper_exec_time = "221m 59.184s"
+    static_symbols = frozenset(
+        {"clone", "pthread_create", "pthread_exit", "sigaction",
+         "feenableexcept", "fedisableexcept", "SIGFPE"}
+    )
+
+    INT_PER_FP = 80_800  # lowest Inexact rate of Figure 15 (~26k/s)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        # --- AVX nonbonded kernel (packed single, 8 lanes) ---------------
+        self.s_dx = kb.site("vsubps", key="dx")
+        self.s_dy = kb.site("vsubps", key="dy")
+        self.s_sq = kb.site("vmulps", key="sq")
+        self.s_r2 = kb.site("vfmaddps", key="r2")
+        self.s_racc = kb.site("vaddps", key="racc")
+        self.s_rinv = kb.site("vdivps", key="rinv")
+        self.s_coul = kb.site("vfnmaddps", key="coul")
+        self.s_lj = kb.site("vfmsubps", key="lj")
+        self.s_fshift = kb.site("subps", key="fshift")
+        self.s_fsum = kb.site("addps", key="fsum")
+        self.s_grid = kb.site("vroundps", key="grid")
+        self.s_gidx = kb.site("vcvtps2dq", key="gidx")
+        self.s_dot = kb.site("vdpps", key="dot")
+        # --- VEX scalar single tail / exclusions --------------------------
+        self.s_tail_a = kb.site("vaddss", key="tail_a")
+        self.s_tail_s = kb.site("vsubss", key="tail_s")
+        self.s_tail_m = kb.site("vmulss", key="tail_m")
+        self.s_tail_d = kb.site("vdivss", key="tail_d")
+        self.s_tail_q = kb.site("vsqrtss", key="tail_q")
+        self.s_tail_fa = kb.site("vfmaddss", key="tail_fa")
+        self.s_tail_fn = kb.site("vfnmaddss", key="tail_fn")
+        self.s_tail_fs = kb.site("vfmsubss", key="tail_fs")
+        self.s_cut = kb.site("vucomiss", key="cut")
+        self.s_tsi = kb.site("vcvttss2si", key="tsi")
+        self.s_nar = kb.site("vcvtsd2ss", key="nar")
+        self.s_qsd = kb.site("vsqrtsd", key="qsd")
+        self.s_stepq = kb.site("cvtsi2sdq", key="stepq")
+        # --- shared-form double-precision bonded path ---------------------
+        self.shared_sites = {m: kb.site(m, key=f"sh_{m}") for m in SHARED_FORMS}
+        self.cold = self.cold_sites(
+            ["vaddps", "vmulps", "addsd", "mulss", "cvtsi2sd"], 120
+        )
+
+    # ------------------------------------------------------------ phases
+
+    def _nonbonded_iter(self, xi, xj, qq) -> Generator:
+        """One AVX nonbonded pass over a 16-particle tile."""
+        dx = yield from self.stream(self.s_dx, xi, xj)
+        dy = yield from self.stream(self.s_dy, xj, 0.5 * xi)
+        sq = yield from self.stream(self.s_sq, dx, dx)
+        r2 = yield from self.stream(self.s_r2, dy, dy, sq)
+        r2 = yield from self.stream(self.s_racc, np.abs(r2), np.full_like(r2, 0.05))
+        rinv = yield from self.stream(self.s_rinv, np.ones_like(r2), r2)
+        f = yield from self.stream(self.s_coul, qq, rinv, np.abs(dx) + 0.1)
+        f = yield from self.stream(self.s_lj, f, rinv, 0.3 * qq)
+        fs = yield from self.stream(self.s_fshift, f, 0.01 * np.abs(f))
+        _ = yield from self.stream(self.s_fsum, fs, np.abs(dy))
+        g = yield from self.stream(self.s_grid, 7.3 * np.abs(dx))
+        _ = yield from self.stream(self.s_gidx, g + 0.4)
+        _ = yield from self.stream(self.s_dot, np.abs(f[:4]) + 0.2, np.abs(dx[:4]) + 0.1)
+        return f
+
+    def _scalar_tail(self, step: int) -> Generator:
+        v = np.array([1.1 + 0.013 * step], dtype=np.float32)
+        w = np.array([0.37 + 0.007 * step], dtype=np.float32)
+        a = yield from self.stream(self.s_tail_a, v, w)
+        s = yield from self.stream(self.s_tail_s, a, w)
+        m = yield from self.stream(self.s_tail_m, s, a)
+        d = yield from self.stream(self.s_tail_d, m, a)
+        q = yield from self.stream(self.s_tail_q, np.abs(d))
+        _ = yield from self.stream(self.s_tail_fa, q, a, w)
+        _ = yield from self.stream(self.s_tail_fn, q, w, a)
+        _ = yield from self.stream(self.s_tail_fs, a, w, q)
+        _ = yield from self.stream(self.s_cut, q, w)
+        _ = yield from self.stream(self.s_tsi, 100.0 * q)
+        _ = yield from self.stream(self.s_nar, np.float64(0.1) * (step + 1) * np.ones(1))
+        _ = yield from self.stream(self.s_qsd, np.abs(np.float64(2.0) + step))
+        _ = yield from self.stream_ints(self.s_stepq, [(1 << 55) + 2 * step + 1])
+
+    def _bonded_shared(self, step: int) -> Generator:
+        """Double-precision bonded path: the 16 shared SSE forms."""
+        x = np.array([1.0 + 0.01 * step])
+        y = np.array([3.0 - 0.002 * step])
+        s = self.shared_sites
+        r = yield from self.stream(s["addsd"], x, y)
+        r = yield from self.stream(s["subsd"], r, 0.3 * y)
+        r = yield from self.stream(s["mulsd"], r, 0.7 * x)
+        r = yield from self.stream(s["divsd"], r, y)
+        _ = yield from self.stream(s["sqrtsd"], np.abs(r))
+        xf = np.asarray(x, dtype=np.float32)
+        yf = np.asarray(y, dtype=np.float32)
+        rf = yield from self.stream(s["addss"], xf, yf)
+        rf = yield from self.stream(s["subss"], rf, 0.1 * yf)
+        rf = yield from self.stream(s["mulss"], rf, xf)
+        rf = yield from self.stream(s["divss"], rf, yf)
+        _ = yield from self.stream(s["sqrtss"], np.abs(rf))
+        _ = yield from self.stream(s["minss"], rf, yf)
+        _ = yield from self.stream(s["maxss"], rf, xf)
+        _ = yield from self.stream(s["ucomisd"], x, y)
+        _ = yield from self.stream_ints(s["cvtsi2sd"], [(1 << 54) + step * 2 + 1])
+        _ = yield from self.stream(s["cvtss2sd"], xf)
+        _ = yield from self.stream(s["cvtsd2ss"], np.array([0.1 + 1e-3 * step]))
+
+    def _collapse_phase(self) -> Generator:
+        """Water-shell collapse: clustered float32 Underflow + Denorm.
+
+        Tiny×tiny single-precision products underflow (UE); the subnormal
+        results then feed compares and multiplies as operands (DE).
+        """
+        tiny = np.full(16, 1.2e-30, dtype=np.float32)
+        tinier = np.full(16, 3.0e-12, dtype=np.float32)
+        sub = yield from self.stream(self.s_sq, tiny, tinier, spread=0)
+        sub32 = np.asarray(sub, dtype=np.float32)
+        _ = yield from self.stream(
+            self.s_cut, sub32[:1], np.ones(1, np.float32), spread=0
+        )
+        _ = yield from self.stream(
+            self.s_sq, sub32, np.full(16, 1.5, np.float32), spread=0
+        )
+        # The bonded double path also grazes a denormal (ucomisd DE record).
+        _ = yield from self.stream(
+            self.shared_sites["ucomisd"], np.full(1, 5e-310), np.ones(1),
+            spread=0,
+        )
+
+    # -------------------------------------------------------------- main
+
+    def _worker(self, tid: int):
+        def gen() -> Generator:
+            iters = self.n(56)
+            # i-particles and j-particles live in disjoint position bands,
+            # so pair distances stay bounded away from zero (no spurious
+            # subnormals outside the collapse phases).
+            xi = (self.nprng.random(16) * 1.5 + 0.5).astype(np.float32)
+            xj = (self.nprng.random(16) + 3.0).astype(np.float32)
+            qq = (self.nprng.random(16) + 0.2).astype(np.float32)
+            for it in range(iters):
+                f = yield from self._nonbonded_iter(xi, xj, qq)
+                xi = np.clip(
+                    np.abs(np.asarray(f, dtype=np.float32)) * 0.1 + 0.5, 0.5, 2.0
+                ).astype(np.float32)
+                yield from self._scalar_tail(it)
+                yield from self._bonded_shared(it)
+                if tid == 0 and it in (18, 37, 50):
+                    yield from self._collapse_phase()
+            yield LibcCall("pthread_exit")
+
+        return gen
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(140) + 0.3)
+        yield from spawn_threads(2, self._worker)
+
+
+APPLICATIONS.register("gromacs", GROMACS)

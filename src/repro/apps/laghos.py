@@ -1,0 +1,115 @@
+"""LAGHOS: high-order Lagrangian hydrodynamics (Sedov blast problem).
+
+Paper profile:
+
+* 25k lines of C++; depends on hypre, METIS, MFEM, MPI; 116m unencumbered.
+* Static analysis: none of the intercepted symbols (Figure 8).
+* Events: DivideByZero, Underflow, Inexact in the aggregate pass
+  (Figure 9); the individual-filtered pass of a separate run saw only
+  DivideByZero (Figure 11).  The DivideByZero events arrive in intense
+  *bursts* -- Figure 13 zooms into a 3-second window with spikes up to
+  ~90k events/second, separated by quiet gaps.
+
+Synthetic kernel: a Sedov-like blast on a 1-D Lagrangian mesh.  Between
+bursts the kernel does ordinary predictor-corrector updates; at mesh
+re-zoning steps, degenerate (zero-length) cells make the artificial
+viscosity term divide by zero many times in a tight loop -- the burst
+structure of Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp
+
+
+class LAGHOS(SimApp):
+    name = "laghos"
+    languages = ("C++",)
+    loc = 25_000
+    dependencies = ("hypre", "METIS", "MFEM", "MPI")
+    problem = "Sedov Blast"
+    parallelism = "mpi"
+    paper_exec_time = "116m 17.087s"
+    static_symbols = frozenset()
+
+    INT_PER_FP = 3230  # Inexact rate ~650k/s (Figure 15)
+    #: timesteps between re-zoning (burst) phases
+    BURST_PERIOD = 6
+    #: sub-bursts per re-zoning phase (each a tight run of ZE faults)
+    BURST_TRAINS = 3
+    #: quiet-phase bookkeeping between timesteps (mesh quality checks,
+    #: hypre setup): what separates the Figure 13 spikes
+    QUIET_WORK = 220_000
+
+    def __init__(self, scale: float = 1.0, variant: str = "default",
+                 seed: int = 1234, rank: int = 0, nranks: int = 2):
+        self.rank = rank
+        self.nranks = nranks
+        super().__init__(scale=scale, variant=variant, seed=seed + rank)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        self.s_dvol = kb.site("subsd", key="dvol")
+        self.s_grad = kb.site("divsd", key="grad")  # the burst site
+        self.s_visc = kb.site("mulsd", key="visc")
+        self.s_pres = kb.site("mulsd", key="pres")
+        self.s_egy = kb.site("addsd", key="egy")
+        self.s_cs = kb.site("sqrtsd", key="cs")
+        self.s_dt = kb.site("minsd", key="dt")
+        self.s_decay = kb.site("mulsd", key="decay")  # underflow source
+        self.s_accel = kb.site("subsd", key="accel")
+        self.cold = self.cold_sites(
+            ["addsd", "mulsd", "divsd", "subsd", "cvtsi2sd", "sqrtsd"], 140
+        )
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(160) * 5 + 0.1)
+        n_cells = self.n(20)
+        steps = self.n(60)
+        x = np.cumsum(self.nprng.random(n_cells) + 0.5)
+        e = np.exp(-x)  # blast energy profile
+        v = np.zeros(n_cells)
+        # Normal-range factors whose *product* underflows: Underflow events
+        # without denormal operands (LAGHOS shows UE but not DE, Figure 9).
+        tiny_a = np.full(n_cells, 1e-180)
+        tiny_b = np.full(n_cells, 1e-141)
+
+        for step in range(steps):
+            burst = (step % self.BURST_PERIOD) == self.BURST_PERIOD - 1
+            dvol = yield from self.stream(self.s_dvol, x, np.roll(x, 1))
+            if burst:
+                # Re-zoning produced degenerate cells: zero volumes feed a
+                # division in the gradient/viscosity evaluation, firing
+                # trains of DivideByZero faults (the Figure 13 spikes).
+                degenerate = np.zeros(3 * n_cells)
+                num = np.resize(e, degenerate.shape) + 1.0
+                for _train in range(self.BURST_TRAINS):
+                    g = yield from self.stream(
+                        self.s_grad, num, degenerate, spread=0
+                    )
+                    yield from self.idle(2_000)
+                g = np.where(np.isinf(g), 0.0, g)[:n_cells]
+            else:
+                g = yield from self.stream(self.s_grad, e, np.abs(dvol) + 0.5)
+            q = yield from self.stream(self.s_visc, g, g)
+            p = yield from self.stream(self.s_pres, e, np.full_like(e, 0.6667))
+            e = yield from self.stream(self.s_egy, e, -1e-3 * np.abs(q + p))
+            cs = yield from self.stream(self.s_cs, np.abs(p) + 1e-6)
+            _dt = yield from self.stream(self.s_dt, cs, np.abs(v) + 1e-3)
+            a = yield from self.stream(self.s_accel, v, 1e-3 * np.abs(g))
+            v = np.clip(a, -10, 10)
+            x = x + 1e-3 * v
+            if self.variant != "filtered" and step >= steps - 2:
+                # Late-time energy residuals sink into the subnormal range
+                # (Underflow); the separate filtered-pass run used a
+                # configuration that settled before reaching it (Figure 11).
+                _r = yield from self.stream(
+                    self.s_decay, tiny_a, tiny_b, spread=0
+                )
+
+
+APPLICATIONS.register("laghos", LAGHOS)

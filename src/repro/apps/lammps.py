@@ -1,0 +1,97 @@
+"""LAMMPS: molecular dynamics (materials modeling).
+
+Paper profile:
+
+* ~1.3M lines (C++ with Tcl/Fortran), depends on MPI; problem "Methane
+  Forces", 76m unencumbered.
+* Static analysis: only ``clone()`` appears in its source (Figure 8).
+* Events: Inexact only -- LAMMPS is one of the three codes that "operate
+  without any concerning results" (Figure 9); its per-second Inexact
+  rate is low (67.9k/s, Figure 15) because force evaluation is dominated
+  by neighbor-list bookkeeping (integer work).
+
+Synthetic kernel: Lennard-Jones pair forces for a methane-like cluster.
+The inner loop is the classic r^2 -> 1/r^6 -> force chain:
+sub/mul/add/div/sqrt, all well-conditioned, producing rounding and
+nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp
+from repro.guest.ops import LibcCall
+
+
+class LAMMPS(SimApp):
+    name = "lammps"
+    languages = ("C++", "Tcl", "Fortran")
+    loc = 1_300_000
+    dependencies = ("MPI",)
+    problem = "Methane Forces"
+    parallelism = "mpi"
+    paper_exec_time = "76m 2.785s"
+    static_symbols = frozenset({"clone"})
+
+    INT_PER_FP = 31_000  # ~68k Inexact/s, low (Figure 15)
+
+    def __init__(self, scale: float = 1.0, variant: str = "default",
+                 seed: int = 1234, rank: int = 0, nranks: int = 2):
+        self.rank = rank
+        self.nranks = nranks
+        super().__init__(scale=scale, variant=variant, seed=seed + rank)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        self.s_dx = kb.site("subsd", key="dx")
+        self.s_dy = kb.site("subsd", key="dy")
+        self.s_dz = kb.site("subsd", key="dz")
+        self.s_sq = kb.site("mulsd", key="sq")
+        self.s_r2 = kb.site("addsd", key="r2")
+        self.s_inv = kb.site("divsd", key="inv")
+        self.s_r6 = kb.site("mulsd", key="r6")
+        self.s_force = kb.site("mulsd", key="force")
+        self.s_fsub = kb.site("subsd", key="fsub")
+        self.s_energy = kb.site("addsd", key="energy")
+        self.s_sqrt = kb.site("sqrtsd", key="rnorm")
+        self.cold = self.cold_sites(
+            ["mulsd", "addsd", "cvtsi2sd", "divsd", "subsd"], 90
+        )
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(128) * 2 + 0.3)
+        n_atoms = self.n(12)
+        steps = self.n(38)
+        pos = self.nprng.random((n_atoms, 3)) * 4.0 + 1.0
+        vel = (self.nprng.random((n_atoms, 3)) - 0.5) * 0.01
+
+        for _step in range(steps):
+            # Pair loop over a fixed neighbor stencil (i, i+1..i+3).
+            for off in range(1, 4):
+                other = np.roll(pos, -off, axis=0)
+                dx = yield from self.stream(self.s_dx, pos[:, 0], other[:, 0])
+                dy = yield from self.stream(self.s_dy, pos[:, 1], other[:, 1])
+                dz = yield from self.stream(self.s_dz, pos[:, 2], other[:, 2])
+                xx = yield from self.stream(self.s_sq, dx, dx)
+                yy = yield from self.stream(self.s_sq, dy, dy)
+                r2 = yield from self.stream(self.s_r2, xx, yy)
+                zz = yield from self.stream(self.s_sq, dz, dz)
+                r2 = yield from self.stream(self.s_r2, r2, zz)
+                r2 = np.maximum(r2, 0.25)  # neighbor cutoff floor
+                inv2 = yield from self.stream(self.s_inv, np.ones_like(r2), r2)
+                inv6 = yield from self.stream(self.s_r6, inv2 * inv2, inv2)
+                f = yield from self.stream(
+                    self.s_force, inv6, inv6 - np.full_like(inv6, 0.5)
+                )
+                _e = yield from self.stream(self.s_energy, f, inv6)
+                _r = yield from self.stream(self.s_sqrt, r2)
+                df = yield from self.stream(self.s_fsub, vel[:, 0], 1e-4 * f)
+                vel[:, 0] = df
+            pos += vel * 0.005
+        yield LibcCall("gettid")
+
+
+APPLICATIONS.register("lammps", LAMMPS)

@@ -1,0 +1,116 @@
+"""Miniaero: Mantevo mini-app solving compressible Navier-Stokes.
+
+Paper profile (Figures 7-9, 11, 14):
+
+* ~4,400 lines of C++/C, depends on Kokkos (threads); problem "Example",
+  1m04s unencumbered.
+* Static analysis: uses *none* of the intercepted symbols directly --
+  thread creation happens inside the Kokkos library, which the paper's
+  source scan deliberately does not descend into.  Dynamically, FPSpy
+  still follows the threads (interposition sees the library's calls).
+* Events: Inexact plus Denorm and Underflow (decaying perturbation
+  fields reach the bottom of the double range); one problem
+  configuration also produces an Overflow transient (seen in the
+  individual-filtered pass, Figure 11, but not the aggregate pass,
+  Figure 9 -- mirroring the paper's run-to-run variation note).
+
+The synthetic kernel is a 1-D finite-volume update: per cell it computes
+density/momentum/energy fluxes (sub/mul/add/div), the acoustic wave speed
+(sqrt, max), and advances an exponentially decaying perturbation field
+whose magnitude underflows as the solution settles.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp, spawn_threads
+from repro.guest.ops import LibcCall
+
+
+class Miniaero(SimApp):
+    name = "miniaero"
+    languages = ("C++", "C")
+    loc = 4_400
+    dependencies = ("Kokkos",)
+    problem = "Example"
+    parallelism = "kokkos-threads"
+    paper_exec_time = "1m 4.420s"
+    static_symbols = frozenset()
+
+    #: integer work units per FP instruction (calibrates the event rate
+    #: ordering of Figure 15: Miniaero ~1.1M Inexact/s, second highest).
+    INT_PER_FP = 1900
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        # Hot flux-loop sites (one static instruction each, like a real
+        # compiled loop body).
+        self.s_drho = kb.site("subsd", key="drho")
+        self.s_flux_m = kb.site("mulsd", key="flux_m")
+        self.s_flux_a = kb.site("addsd", key="flux_a")
+        self.s_invrho = kb.site("divsd", key="invrho")
+        self.s_sound = kb.site("sqrtsd", key="sound")
+        self.s_wave = kb.site("maxsd", key="wave")
+        self.s_update = kb.site("mulsd", key="update")
+        self.s_accum = kb.site("addsd", key="accum")
+        # Perturbation decay (the underflow/denorm source).
+        self.s_decay = kb.site("mulsd", key="decay")
+        # Overflow transient (pressure blow-up in one configuration).
+        self.s_blowup = kb.site("mulsd", key="blowup")
+        # Setup/teardown code: distinct single-use sites.
+        self.cold = self.cold_sites(
+            ["addsd", "mulsd", "subsd", "divsd", "cvtsi2sd", "cvtsd2ss"], 60
+        )
+
+    # ----------------------------------------------------------- workload
+
+    def _worker(self, tid: int):
+        def gen() -> Generator:
+            n_cells = self.n(10)
+            steps = self.n(20)
+            rho = 1.0 + 0.05 * self.nprng.random(n_cells)
+            mom = 0.1 * self.nprng.random(n_cells)
+            # Perturbation field that decays toward the denormal range.
+            pert = np.full(n_cells, 1e-300)
+
+            for _step in range(steps):
+                drho = yield from self.stream(self.s_drho, rho, np.roll(rho, 1))
+                flux = yield from self.stream(self.s_flux_m, drho, mom)
+                rho_new = yield from self.stream(self.s_flux_a, rho, flux)
+                inv = yield from self.stream(self.s_invrho, np.ones(n_cells), rho_new)
+                c2 = yield from self.stream(self.s_sound, np.abs(1.4 * inv))
+                _wave = yield from self.stream(self.s_wave, c2, np.abs(mom))
+                mom_flux = yield from self.stream(self.s_update, mom, inv)
+                mom = yield from self.stream(self.s_accum, mom, 0.01 * mom_flux)
+                rho = rho_new
+                if _step >= steps - 5:
+                    # Late-time settling: the perturbation decays through
+                    # the bottom of the double range (Underflow), and the
+                    # denormal results re-enter as operands (Denorm).
+                    pert = yield from self.stream(
+                        self.s_decay, pert, np.full(n_cells, 1e-3),
+                        spread=0,
+                    )
+            if self.variant == "filtered" and tid == 0:
+                # Pressure blow-up transient in this problem configuration:
+                # repeated squaring overflows to infinity (one OE event;
+                # inf*inf afterwards is flag-silent).
+                p = np.array([1e30])
+                for _ in range(6):
+                    p = yield from self.stream(self.s_blowup, p, p, spread=0)
+
+        return gen
+
+    def main(self) -> Generator:
+        # Setup phase: mesh construction, coefficient precomputation.
+        init_vals = self.nprng.random(64) * 3.0 + 0.5
+        yield from self.touch_cold(self.cold, init_vals)
+        # Kokkos-style thread team (created by the library, not the app).
+        yield from spawn_threads(2, self._worker)
+        yield LibcCall("getpid")
+
+
+APPLICATIONS.register("miniaero", Miniaero)

@@ -1,0 +1,83 @@
+"""MOOSE: parallel finite element multiphysics framework.
+
+Paper profile:
+
+* ~1.2M lines (C++/Python/C); depends on PETSc and libmesh; problem
+  "Transient", 54s unencumbered.
+* Static analysis: its source *contains* ``clone``, ``pthread_create``,
+  ``sigaction``, ``feenableexcept`` and ``fedisableexcept`` (Figure 8) --
+  but none of them execute in the study problem, so FPSpy never steps
+  aside ("what matters is whether the code is encountered dynamically",
+  section 5.1).
+* Events: Inexact only, at the *highest* rate of any application
+  (1.44M/s, Figure 15) -- implicit FEM solves are FP-saturated.
+
+Synthetic kernel: a transient heat-conduction solve: assemble a
+tridiagonal operator and run damped-Jacobi sweeps every timestep.  Almost
+every instruction is floating point (minimal integer padding), giving the
+top-of-chart event rate.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp
+
+
+class MOOSE(SimApp):
+    name = "moose"
+    languages = ("C++", "Python", "C")
+    loc = 1_200_000
+    dependencies = ("PETSc", "libmesh")
+    problem = "Transient"
+    parallelism = "threads"
+    paper_exec_time = "54.275s"
+    static_symbols = frozenset(
+        {"clone", "pthread_create", "sigaction", "feenableexcept",
+         "fedisableexcept"}
+    )
+
+    INT_PER_FP = 1050  # highest Inexact rate in Figure 15 (~1.44M/s)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        self.s_asm_m = kb.site("mulsd", key="asm_m")
+        self.s_asm_a = kb.site("addsd", key="asm_a")
+        self.s_res_s = kb.site("subsd", key="res_s")
+        self.s_res_m = kb.site("mulsd", key="res_m")
+        self.s_jac_d = kb.site("divsd", key="jac_d")
+        self.s_upd = kb.site("addsd", key="upd")
+        self.s_norm_m = kb.site("mulsd", key="norm_m")
+        self.s_norm_a = kb.site("addsd", key="norm_a")
+        self.s_norm_r = kb.site("sqrtsd", key="norm_r")
+        self.cold = self.cold_sites(
+            ["addsd", "mulsd", "divsd", "subsd", "cvtsi2sd", "cvtss2sd"], 200
+        )
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(256) * 2 + 0.1)
+        n = self.n(22)
+        timesteps = self.n(24)
+        sweeps = 3
+        u = self.nprng.random(n) * 10.0
+        diag = np.full(n, 2.05)
+
+        for _t in range(timesteps):
+            source = yield from self.stream(self.s_asm_m, u, np.full(n, 0.013))
+            rhs = yield from self.stream(self.s_asm_a, u, source)
+            for _sweep in range(sweeps):
+                neigh = 0.5 * (np.roll(u, 1) + np.roll(u, -1))
+                au = yield from self.stream(self.s_res_m, diag, u)
+                res = yield from self.stream(self.s_res_s, rhs, au)
+                res = yield from self.stream(self.s_asm_a, res, neigh)
+                du = yield from self.stream(self.s_jac_d, res, diag)
+                u = yield from self.stream(self.s_upd, u, 0.6 * du)
+                sq = yield from self.stream(self.s_norm_m, res, res)
+                acc = yield from self.stream(self.s_norm_a, sq, np.roll(sq, 1))
+                _nrm = yield from self.stream(self.s_norm_r, np.abs(acc))
+
+
+APPLICATIONS.register("moose", MOOSE)

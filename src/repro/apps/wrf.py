@@ -1,0 +1,81 @@
+"""WRF: the Weather Research and Forecasting model (Squall2D_y case).
+
+Paper profile:
+
+* ~1.4M lines (Fortran/C); depends on NetCDF and MPI; 30m unencumbered.
+* Static analysis: contains ``fesetenv`` (Figure 8) -- and WRF is the
+  *only* studied code that actually executes its floating point control
+  at runtime.  FPSpy therefore steps aside, producing the signature
+  anomaly of the study: the aggregate pass shows **no events at all**
+  (Figure 9: WRF's own ``fesetenv`` clears the sticky register), while
+  individual-mode sampling still shows Inexact (Figure 14) because those
+  events were captured *as they arose*, before FPSpy stood down.
+
+Synthetic kernel: a 2-D squall-line advection step.  WRF's runtime FP
+initialization executes ``fesetenv`` shortly after startup -- after the
+first few physics steps have already rounded.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.apps.base import APPLICATIONS, SimApp
+from repro.guest.ops import LibcCall
+from repro.loader.fenv import FE_DFL_ENV
+
+
+class WRF(SimApp):
+    name = "wrf"
+    languages = ("Fortran", "C")
+    loc = 1_400_000
+    dependencies = ("NetCDF", "MPI")
+    problem = "Squall2D_y"
+    parallelism = "mpi"
+    paper_exec_time = "30m 25.019s"
+    static_symbols = frozenset({"fesetenv"})
+    #: symbols the app also *executes* (unique among the studied codes)
+    dynamic_symbols = frozenset({"fesetenv"})
+
+    INT_PER_FP = 32_000  # Inexact rate ~65k/s (Figure 15)
+
+    def _build_sites(self) -> None:
+        kb = self.kb
+        self.s_advx = kb.site("mulsd", key="advx")
+        self.s_advy = kb.site("mulsd", key="advy")
+        self.s_tend = kb.site("subsd", key="tend")
+        self.s_diff = kb.site("addsd", key="diff")
+        self.s_cfl = kb.site("divsd", key="cfl")
+        self.s_buoy = kb.site("sqrtsd", key="buoy")
+        self.s_microp = kb.site("maxsd", key="microp")
+        self.cold = self.cold_sites(
+            ["addsd", "mulsd", "subsd", "divsd", "cvtsi2sd", "cvtsd2ss",
+             "cvtss2sd"], 260
+        )
+
+    def main(self) -> Generator:
+        yield from self.touch_cold(self.cold, self.nprng.random(300) * 4 + 0.2)
+        nx = self.n(18)
+        steps = self.n(26)
+        theta = 300.0 + self.nprng.random(nx)
+        wind = 8.0 + 0.5 * self.nprng.random(nx)
+
+        fenv_step = max(3, int(steps * 0.85))
+        for step in range(steps):
+            if step == fenv_step:
+                # WRF's own floating point environment initialization: the
+                # dynamic fesetenv that makes FPSpy get out of the way.
+                yield LibcCall("fesetenv", (FE_DFL_ENV,))
+            fx = yield from self.stream(self.s_advx, theta, wind * 1e-3)
+            fy = yield from self.stream(self.s_advy, np.roll(theta, 1), wind * 1e-3)
+            dth = yield from self.stream(self.s_tend, fx, fy)
+            theta = yield from self.stream(self.s_diff, theta, 0.1 * dth)
+            _cfl = yield from self.stream(self.s_cfl, wind, np.full(nx, 125.0))
+            _b = yield from self.stream(self.s_buoy, np.abs(theta) / 300.0)
+            wind_new = yield from self.stream(self.s_microp, wind, np.abs(dth))
+            wind = 0.999 * wind_new
+
+
+APPLICATIONS.register("wrf", WRF)

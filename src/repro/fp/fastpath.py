@@ -1,0 +1,161 @@
+"""Fast-path arithmetic: host-FPU results with exact flag detection.
+
+DESIGN.md decision #1's ablation: the canonical integer-mantissa
+softfloat is bit-exact but costs microseconds per operation.  For the
+overwhelmingly common case -- normal binary64 operands, round-to-nearest,
+normal result -- the *host* FPU already computes the correctly rounded
+result (Python floats are IEEE binary64 with round-to-nearest-even), and
+the only question is the flag set.  This module answers it exactly:
+
+* **add/sub**: the two-sum error-free transformation recovers the exact
+  residual; PE iff the residual is nonzero.
+* **mul**: Dekker's two-product (Veltkamp splitting) recovers the exact
+  product error without an FMA; PE iff nonzero.
+* **div**: exactness holds iff ``r * b == a`` exactly, checked by integer
+  cross-multiplication of the decomposed mantissas.
+* **sqrt**: exactness holds iff ``r * r == a`` exactly, same technique.
+
+Any case the fast path cannot certify -- non-default rounding mode,
+FTZ/DAZ, special or subnormal operands, results at the overflow or
+tininess boundary -- falls back to the canonical softfloat.  The
+equivalence ``FastSoftFPU == SoftFPU`` on *all* inputs is
+property-tested (``tests/property/test_fastpath_props.py``) and the
+speedup is measured in ``benchmarks/test_ablation_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+from repro.fp.flags import Flag
+from repro.fp.formats import (
+    BINARY64,
+    BinaryFormat,
+    bits64_to_float,
+    float_to_bits64,
+)
+from repro.fp.rounding import RoundingMode
+from repro.fp.softfloat import DEFAULT_CONTEXT, FPContext, OpResult, SoftFPU
+
+#: Magnitude bounds within which add/mul fast paths are certainly safe
+#: (results cannot overflow, underflow, or lose residual precision).
+_MIN_SAFE = 2.0**-500
+_MAX_SAFE = 2.0**500
+
+#: Veltkamp splitting constant for binary64 (2**27 + 1).
+_SPLIT = 134217729.0
+
+
+def _is_fast_operand(bits: int) -> bool:
+    """Normal, finite, comfortably mid-range binary64 value?"""
+    exp_field = (bits >> 52) & 0x7FF
+    # Exponent field in (523, 1523): magnitude within 2**+-500 and normal.
+    return 523 < exp_field < 1523
+
+
+def _fast_ok(ctx: FPContext) -> bool:
+    return ctx.rmode == RoundingMode.NEAREST and not ctx.ftz and not ctx.daz
+
+
+class FastSoftFPU(SoftFPU):
+    """Drop-in :class:`SoftFPU` with host-FPU fast paths.
+
+    Bit-identical results and flags; falls back to the canonical
+    implementation whenever the fast path cannot certify exactness
+    information.
+    """
+
+    # ------------------------------------------------------------- add/sub
+
+    def _addsub(self, fmt: BinaryFormat, a: int, b: int, ctx: FPContext,
+                negate_b: bool) -> OpResult:
+        if fmt is BINARY64 and _fast_ok(ctx) and _is_fast_operand(a) and _is_fast_operand(b):
+            x = bits64_to_float(a)
+            y = bits64_to_float(b)
+            if negate_b:
+                y = -y
+            s = x + y
+            if s == 0.0 or _MIN_SAFE < abs(s) < _MAX_SAFE:
+                # Two-sum: s + err == x + y exactly.
+                bv = s - x
+                err = (x - (s - bv)) + (y - bv)
+                flags = Flag.PE if err != 0.0 else Flag.NONE
+                if s == 0.0 and err == 0.0 and x == -y and x != 0.0:
+                    # Exact cancellation: +0 under RN, matching softfloat.
+                    return OpResult(0, Flag.NONE)
+                return OpResult(float_to_bits64(s), flags)
+        return super()._addsub(fmt, a, b, ctx, negate_b)
+
+    # ----------------------------------------------------------------- mul
+
+    def mul(self, fmt: BinaryFormat, a: int, b: int,
+            ctx: FPContext = DEFAULT_CONTEXT) -> OpResult:
+        if fmt is BINARY64 and _fast_ok(ctx) and _is_fast_operand(a) and _is_fast_operand(b):
+            x = bits64_to_float(a)
+            y = bits64_to_float(b)
+            p = x * y
+            if _MIN_SAFE < abs(p) < _MAX_SAFE:
+                # Dekker two-product: p + err == x*y exactly.
+                cx = _SPLIT * x
+                hx = cx - (cx - x)
+                lx = x - hx
+                cy = _SPLIT * y
+                hy = cy - (cy - y)
+                ly = y - hy
+                err = ((hx * hy - p) + hx * ly + lx * hy) + lx * ly
+                flags = Flag.PE if err != 0.0 else Flag.NONE
+                return OpResult(float_to_bits64(p), flags)
+        return super().mul(fmt, a, b, ctx)
+
+    # ----------------------------------------------------------------- div
+
+    def div(self, fmt: BinaryFormat, a: int, b: int,
+            ctx: FPContext = DEFAULT_CONTEXT) -> OpResult:
+        if (
+            fmt is BINARY64 and _fast_ok(ctx)
+            and _is_fast_operand(a) and _is_fast_operand(b)
+        ):
+            x = bits64_to_float(a)
+            y = bits64_to_float(b)
+            q = x / y
+            if _MIN_SAFE < abs(q) < _MAX_SAFE:
+                # Exact iff q*y == x as infinite-precision reals: check by
+                # integer cross-multiplication of decomposed mantissas.
+                sa, ma, ea = fmt.decompose(a)
+                sb, mb, eb = fmt.decompose(b)
+                qb = float_to_bits64(q)
+                sq, mq, eq = fmt.decompose(qb)
+                del sa, sb, sq
+                # x ?= q*y  <=>  ma * 2**ea == mq*mb * 2**(eq+eb)
+                shift = ea - (eq + eb)
+                prod = mq * mb
+                if shift >= 0:
+                    exact = (ma << shift) == prod
+                else:
+                    exact = prod % (1 << -shift) == 0 and ma == prod >> (-shift)
+                flags = Flag.NONE if exact else Flag.PE
+                return OpResult(qb, flags)
+        return super().div(fmt, a, b, ctx)
+
+    # ---------------------------------------------------------------- sqrt
+
+    def sqrt(self, fmt: BinaryFormat, a: int,
+             ctx: FPContext = DEFAULT_CONTEXT) -> OpResult:
+        if fmt is BINARY64 and _fast_ok(ctx) and _is_fast_operand(a):
+            x = bits64_to_float(a)
+            if x > 0.0:
+                import math
+
+                r = math.sqrt(x)
+                rb = float_to_bits64(r)
+                _, mr, er = fmt.decompose(rb)
+                _, ma, ea = fmt.decompose(a)
+                # a ?= r*r  <=>  ma * 2**ea == mr*mr * 2**(2*er)
+                shift = ea - 2 * er
+                if shift >= 0:
+                    exact = (ma << shift) == mr * mr
+                else:
+                    exact = (
+                        (mr * mr) % (1 << -shift) == 0
+                        and ma == (mr * mr) >> (-shift)
+                    )
+                return OpResult(rb, Flag.NONE if exact else Flag.PE)
+        return super().sqrt(fmt, a, ctx)

@@ -1,0 +1,108 @@
+"""The x64 floating point condition codes ("events" in FPSpy terminology).
+
+The IEEE 754 standard defines five exception conditions; x64 adds a sixth
+(Denormal operand).  On x64 these appear as the low six bits of the
+``%mxcsr`` register, set as a zero-cost side effect of every SSE/AVX
+floating point operation.  The bits are *sticky*: once set they stay set
+until software explicitly clears them.  FPSpy's aggregate mode is built
+entirely on this stickiness (paper section 3.5).
+
+Bit layout (Intel SDM, MXCSR):
+
+====  ====  ============================  ======================
+bit   name  meaning                       paper event name
+====  ====  ============================  ======================
+0     IE    invalid operation             Invalid
+1     DE    denormal operand              Denorm
+2     ZE    divide by zero                DivideByZero
+3     OE    overflow                      Overflow
+4     UE    underflow                     Underflow
+5     PE    precision (inexact)           Inexact
+====  ====  ============================  ======================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class Flag(enum.IntFlag):
+    """MXCSR status flag bits.  Values are the literal x64 bit positions."""
+
+    IE = 1 << 0  #: Invalid operation (operand is a NaN / meaningless op)
+    DE = 1 << 1  #: Denormal operand (x64-specific)
+    ZE = 1 << 2  #: Divide by zero
+    OE = 1 << 3  #: Overflow (result was an infinity; true result did not fit)
+    UE = 1 << 4  #: Underflow (result was a denorm or zero; did not fit)
+    PE = 1 << 5  #: Precision / Inexact (result is a rounded version of truth)
+
+    NONE = 0
+
+
+#: All six status flags set.
+ALL_FLAGS: Flag = Flag.IE | Flag.DE | Flag.ZE | Flag.OE | Flag.UE | Flag.PE
+
+#: Map from flag to the event name used throughout the paper's figures.
+FLAG_NAMES: dict[Flag, str] = {
+    Flag.IE: "Invalid",
+    Flag.DE: "Denorm",
+    Flag.ZE: "DivideByZero",
+    Flag.OE: "Overflow",
+    Flag.UE: "Underflow",
+    Flag.PE: "Inexact",
+}
+
+#: Event names in the column order used by the paper's tables (Figures 9-14).
+EVENT_ORDER: tuple[str, ...] = (
+    "DivideByZero",
+    "Invalid",
+    "Denorm",
+    "Underflow",
+    "Overflow",
+    "Inexact",
+)
+
+#: Inverse of :data:`FLAG_NAMES`.
+NAME_TO_FLAG: dict[str, Flag] = {v: k for k, v in FLAG_NAMES.items()}
+
+#: x64 exception priority: when one instruction raises several unmasked
+#: exceptions, a priority encoding picks the one delivered (paper 3.2).
+#: Invalid/Denormal/DivideByZero are pre-computation faults and outrank the
+#: post-computation Overflow/Underflow/Precision.
+PRIORITY: tuple[Flag, ...] = (Flag.IE, Flag.DE, Flag.ZE, Flag.OE, Flag.UE, Flag.PE)
+
+
+def flags_to_events(flags: Flag) -> list[str]:
+    """Return the paper-style event names present in ``flags``, in table order."""
+    return [name for name in EVENT_ORDER if flags & NAME_TO_FLAG[name]]
+
+
+def events_to_flags(names: Iterable[str]) -> Flag:
+    """Parse event names (as used in ``FPE_EXCEPT_LIST``) into a flag set.
+
+    Names are case-insensitive and may be either the paper event names
+    ("Invalid", "DivideByZero", ...) or the raw x64 mnemonics ("IE", ...).
+    """
+    out = Flag.NONE
+    lowered = {k.lower(): v for k, v in NAME_TO_FLAG.items()}
+    for raw in names:
+        token = raw.strip()
+        if not token:
+            continue
+        key = token.lower()
+        if key in lowered:
+            out |= lowered[key]
+        elif token.upper() in Flag.__members__:
+            out |= Flag[token.upper()]
+        else:
+            raise ValueError(f"unknown floating point event name: {raw!r}")
+    return out
+
+
+def highest_priority(flags: Flag) -> Flag:
+    """Return the single flag that x64's priority encoding would deliver."""
+    for candidate in PRIORITY:
+        if flags & candidate:
+            return candidate
+    return Flag.NONE

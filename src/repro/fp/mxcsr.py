@@ -1,0 +1,151 @@
+"""Model of the x64 ``%mxcsr`` control/status register.
+
+This register is the heart of everything FPSpy does (paper section 3.2):
+
+* bits 0-5 are the six *sticky* status flags (condition codes);
+* bit 6 is DAZ (denormals-are-zero);
+* bits 7-12 are the per-condition exception masks (set = masked);
+* bits 13-14 are the rounding control;
+* bit 15 is FTZ (flush-to-zero).
+
+At power-on the register holds ``0x1F80``: all exceptions masked, all
+status clear, round-to-nearest.  FPSpy's aggregate mode is "a write of
+%mxcsr at the beginning of a thread's life cycle, and a read at the end of
+it"; individual mode unmasks exceptions so each event produces a precise
+fault.
+"""
+
+from __future__ import annotations
+
+from repro.fp.flags import ALL_FLAGS, Flag
+from repro.fp.rounding import RoundingMode
+from repro.fp.softfloat import FPContext
+
+#: Shift from a status-flag bit to its corresponding mask bit.
+MASK_SHIFT = 7
+
+DAZ_BIT = 1 << 6
+FTZ_BIT = 1 << 15
+RC_SHIFT = 13
+RC_MASK = 0b11 << RC_SHIFT
+
+#: Power-on / Linux-default value: all exceptions masked, nearest rounding.
+MXCSR_DEFAULT = 0x1F80
+
+
+class MXCSR:
+    """A mutable ``%mxcsr`` with convenience accessors.
+
+    The raw 32-bit value is authoritative: ``ldmxcsr``/``stmxcsr`` style
+    access (``value`` property) and the structured accessors always agree.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int = MXCSR_DEFAULT) -> None:
+        self._value = value & 0xFFFF
+
+    # ---- raw access (ldmxcsr / stmxcsr) -----------------------------------
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @value.setter
+    def value(self, raw: int) -> None:
+        self._value = raw & 0xFFFF
+
+    def copy(self) -> "MXCSR":
+        return MXCSR(self._value)
+
+    # ---- status flags (sticky condition codes) ----------------------------
+
+    @property
+    def status(self) -> Flag:
+        return Flag(self._value & int(ALL_FLAGS))
+
+    def set_status(self, flags: Flag) -> None:
+        """OR flags into the sticky status bits (what every FP op does)."""
+        self._value |= int(flags) & int(ALL_FLAGS)
+
+    def clear_status(self) -> None:
+        """Clear all six condition codes (FPSpy does this constantly)."""
+        self._value &= ~int(ALL_FLAGS)
+
+    def test(self, flag: Flag) -> bool:
+        return bool(self._value & int(flag))
+
+    # ---- exception masks ---------------------------------------------------
+
+    @property
+    def masks(self) -> Flag:
+        """The set of *masked* (suppressed) exceptions, as Flag bits."""
+        return Flag((self._value >> MASK_SHIFT) & int(ALL_FLAGS))
+
+    def mask_all(self) -> None:
+        self._value |= int(ALL_FLAGS) << MASK_SHIFT
+
+    def unmask(self, flags: Flag) -> None:
+        """Unmask the given exceptions so they fault (individual mode)."""
+        self._value &= ~((int(flags) & int(ALL_FLAGS)) << MASK_SHIFT)
+
+    def mask(self, flags: Flag) -> None:
+        self._value |= (int(flags) & int(ALL_FLAGS)) << MASK_SHIFT
+
+    def set_masks(self, masked: Flag) -> None:
+        """Set the mask field exactly: ``masked`` exceptions are suppressed."""
+        self._value &= ~(int(ALL_FLAGS) << MASK_SHIFT)
+        self._value |= (int(masked) & int(ALL_FLAGS)) << MASK_SHIFT
+
+    def unmasked_pending(self, flags: Flag) -> Flag:
+        """Which of ``flags`` would fault under the current masks."""
+        return Flag(int(flags) & ~int(self.masks) & int(ALL_FLAGS))
+
+    # ---- rounding control ----------------------------------------------------
+
+    @property
+    def rounding(self) -> RoundingMode:
+        return RoundingMode((self._value & RC_MASK) >> RC_SHIFT)
+
+    @rounding.setter
+    def rounding(self, mode: RoundingMode) -> None:
+        self._value = (self._value & ~RC_MASK) | (int(mode) << RC_SHIFT)
+
+    # ---- FTZ / DAZ ----------------------------------------------------------
+
+    @property
+    def ftz(self) -> bool:
+        return bool(self._value & FTZ_BIT)
+
+    @ftz.setter
+    def ftz(self, on: bool) -> None:
+        self._value = (self._value | FTZ_BIT) if on else (self._value & ~FTZ_BIT)
+
+    @property
+    def daz(self) -> bool:
+        return bool(self._value & DAZ_BIT)
+
+    @daz.setter
+    def daz(self, on: bool) -> None:
+        self._value = (self._value | DAZ_BIT) if on else (self._value & ~DAZ_BIT)
+
+    # ---- derived -------------------------------------------------------------
+
+    def context(self) -> FPContext:
+        """The :class:`FPContext` operations should execute under.
+
+        FTZ architecturally only takes effect while the Underflow exception
+        is masked; the returned context encodes that.
+        """
+        return FPContext(
+            rmode=self.rounding,
+            ftz=self.ftz and bool(self.masks & Flag.UE),
+            daz=self.daz,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MXCSR(0x{self._value:04x} status={self.status!r} "
+            f"masks={self.masks!r} rc={self.rounding.name} "
+            f"ftz={self.ftz} daz={self.daz})"
+        )

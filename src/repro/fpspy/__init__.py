@@ -1,0 +1,34 @@
+"""FPSpy: the paper's contribution, implemented against the simulated
+x64/Linux substrate.
+
+FPSpy is an ``LD_PRELOAD`` shared object configured entirely through
+environment variables (paper Figure 2).  It observes the floating point
+events of an existing, unmodified guest binary in one of two modes:
+
+* **aggregate** (section 3.5): one ``%mxcsr`` write at thread start and
+  one read at thread end; the sticky condition codes reveal the *set* of
+  events that occurred, at virtually zero overhead.
+* **individual** (section 3.6): exceptions are unmasked and every event
+  becomes a SIGFPE; a trap-and-emulate state machine (mask + single-step
+  + unmask) records the full context of each faulting instruction, with
+  filtering, subsampling, a record cap, and a Poisson sampler to throttle
+  overhead.
+
+FPSpy "gets out of the way" the moment the application dynamically uses
+any mechanism FPSpy depends on (the ``fe*`` floating point environment
+family, or -- in individual mode -- the SIGFPE/SIGTRAP/alarm signals),
+unless aggressive mode is enabled (section 3.3).
+"""
+
+from repro.fpspy.config import FPSpyConfig, Mode
+from repro.fpspy.engine import FPSpyEngine, MonitorState
+from repro.fpspy.preload import FPSpyLibrary, fpspy_env
+
+__all__ = [
+    "FPSpyConfig",
+    "Mode",
+    "FPSpyEngine",
+    "MonitorState",
+    "FPSpyLibrary",
+    "fpspy_env",
+]

@@ -1,0 +1,134 @@
+"""FPSpy configuration: the environment-variable interface of Figure 2.
+
+=================  ==========================================================
+variable           meaning
+=================  ==========================================================
+LD_PRELOAD         must contain ``fpspy.so`` for FPSpy to load at all
+FPE_MODE           ``aggregate`` or ``individual`` (required)
+FPE_AGGRESSIVE     ``1``: do NOT step aside when the app merely hooks
+                   SIGTRAP/SIGFPE/alarm signals (section 3.3 "Aggression")
+FPE_DISABLE        comma list of step-aside triggers to honor; subset of
+                   ``{fenv, signals}`` (default: both)
+FPE_EXCEPT_LIST    comma list of event names to capture (default: all six)
+FPE_MAXCOUNT       per-thread cap on *recorded* events; FPSpy disarms after
+FPE_SAMPLE         subsample: record every k-th observed event (default 1)
+FPE_POISSON        ``on:off`` mean period lengths -- enables the Poisson
+                   sampler (units: instructions for the virtual timer,
+                   microseconds for the real timer)
+FPE_TIMER          ``virtual`` (instruction time) or ``real`` (wall clock)
+FPE_SEED           deterministic seed for the Poisson sampler (extension;
+                   the simulation forbids nondeterminism)
+FPE_TRACE_PREFIX   VFS directory for trace files (extension; default
+                   ``trace/``)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.fp.flags import ALL_FLAGS, Flag, events_to_flags
+
+
+class Mode(enum.Enum):
+    AGGREGATE = "aggregate"
+    INDIVIDUAL = "individual"
+
+
+_TRUE = {"1", "y", "yes", "true", "on"}
+
+
+@dataclass(frozen=True)
+class FPSpyConfig:
+    """Parsed FPSpy configuration."""
+
+    mode: Mode | None = None
+    aggressive: bool = False
+    disable_on_fenv: bool = True
+    disable_on_signals: bool = True
+    capture: Flag = ALL_FLAGS
+    maxcount: int | None = None
+    sample: int = 1
+    poisson_on: float | None = None
+    poisson_off: float | None = None
+    timer: str = "virtual"
+    seed: int = 0
+    trace_prefix: str = "trace/"
+
+    @property
+    def active(self) -> bool:
+        return self.mode is not None
+
+    @property
+    def poisson_enabled(self) -> bool:
+        return self.poisson_on is not None
+
+    @classmethod
+    def from_env(cls, env: dict[str, str]) -> "FPSpyConfig":
+        mode_raw = (env.get("FPE_MODE") or "").strip().lower()
+        mode: Mode | None
+        if not mode_raw:
+            mode = None
+        elif mode_raw in ("aggregate", "individual"):
+            mode = Mode(mode_raw)
+        else:
+            raise ValueError(f"FPE_MODE must be aggregate|individual, got {mode_raw!r}")
+
+        aggressive = (env.get("FPE_AGGRESSIVE", "") or "").strip().lower() in _TRUE
+
+        disable_raw = env.get("FPE_DISABLE")
+        if disable_raw is None:
+            fenv_trigger, signal_trigger = True, True
+        else:
+            triggers = {t.strip().lower() for t in disable_raw.split(",") if t.strip()}
+            unknown = triggers - {"fenv", "signals"}
+            if unknown:
+                raise ValueError(f"unknown FPE_DISABLE triggers: {sorted(unknown)}")
+            fenv_trigger = "fenv" in triggers
+            signal_trigger = "signals" in triggers
+
+        except_raw = env.get("FPE_EXCEPT_LIST")
+        capture = (
+            ALL_FLAGS
+            if except_raw is None
+            else events_to_flags(except_raw.split(","))
+        )
+
+        maxcount_raw = env.get("FPE_MAXCOUNT")
+        maxcount = int(maxcount_raw) if maxcount_raw else None
+        if maxcount is not None and maxcount <= 0:
+            raise ValueError("FPE_MAXCOUNT must be positive")
+
+        sample = int(env.get("FPE_SAMPLE", "1") or "1")
+        if sample <= 0:
+            raise ValueError("FPE_SAMPLE must be positive")
+
+        poisson_raw = env.get("FPE_POISSON")
+        poisson_on = poisson_off = None
+        if poisson_raw:
+            parts = poisson_raw.split(":")
+            if len(parts) != 2:
+                raise ValueError("FPE_POISSON must be '<on_mean>:<off_mean>'")
+            poisson_on, poisson_off = float(parts[0]), float(parts[1])
+            if poisson_on <= 0 or poisson_off <= 0:
+                raise ValueError("FPE_POISSON means must be positive")
+
+        timer = (env.get("FPE_TIMER", "virtual") or "virtual").strip().lower()
+        if timer not in ("virtual", "real"):
+            raise ValueError(f"FPE_TIMER must be virtual|real, got {timer!r}")
+
+        return cls(
+            mode=mode,
+            aggressive=aggressive,
+            disable_on_fenv=fenv_trigger,
+            disable_on_signals=signal_trigger,
+            capture=capture,
+            maxcount=maxcount,
+            sample=sample,
+            poisson_on=poisson_on,
+            poisson_off=poisson_off,
+            timer=timer,
+            seed=int(env.get("FPE_SEED", "0") or "0"),
+            trace_prefix=env.get("FPE_TRACE_PREFIX", "trace/"),
+        )

@@ -1,0 +1,168 @@
+"""``fpspy.so``: the preload shared object.
+
+This module adapts :class:`repro.fpspy.engine.FPSpyEngine` to the dynamic
+linker's :class:`~repro.loader.ldso.PreloadLibrary` contract and installs
+the interposition wrappers of paper Figure 8:
+
+* **thread/process management** (``fork``, ``clone``, ``pthread_create``)
+  so FPSpy recursively follows the process tree and monitors every thread;
+* **signal hooking** (``signal``, ``sigaction``) so FPSpy notices when
+  the application wants SIGFPE/SIGTRAP/alarm for itself;
+* **floating point environment control** (the ``fe*`` family), whose
+  dynamic use always forces FPSpy to get out of the way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.fpspy.config import Mode
+from repro.fpspy.engine import FPSpyEngine
+from repro.kernel.signals import SIG_DFL, Signal
+from repro.loader.ldso import Loader, register_preload
+from repro.loader.libc import FENV_SYMBOLS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.process import Process
+    from repro.kernel.task import Task
+    from repro.machine.cpu import GuestCallContext
+
+
+def fpspy_env(
+    mode: str = "aggregate",
+    *,
+    aggressive: bool = False,
+    except_list: str | None = None,
+    maxcount: int | None = None,
+    sample: int | None = None,
+    poisson: str | None = None,
+    timer: str | None = None,
+    seed: int | None = None,
+    extra: dict[str, str] | None = None,
+) -> dict[str, str]:
+    """Build the ``[FPSPY_VARS]`` environment block for a launch.
+
+    This is the programmatic equivalent of prefixing a command with
+    environment variables (paper section 3.1)::
+
+        env = fpspy_env("individual", except_list="DivideByZero,Invalid")
+        kernel.exec_process(app.main, env=env)
+    """
+    env = {"LD_PRELOAD": "fpspy.so", "FPE_MODE": mode}
+    if aggressive:
+        env["FPE_AGGRESSIVE"] = "1"
+    if except_list is not None:
+        env["FPE_EXCEPT_LIST"] = except_list
+    if maxcount is not None:
+        env["FPE_MAXCOUNT"] = str(maxcount)
+    if sample is not None:
+        env["FPE_SAMPLE"] = str(sample)
+    if poisson is not None:
+        env["FPE_POISSON"] = poisson
+    if timer is not None:
+        env["FPE_TIMER"] = timer
+    if seed is not None:
+        env["FPE_SEED"] = str(seed)
+    if extra:
+        env.update(extra)
+    return env
+
+
+class FPSpyLibrary:
+    """The preload object ``ld.so`` instantiates per process."""
+
+    def __init__(self, process: "Process") -> None:
+        self.engine = FPSpyEngine(process)
+
+    # ------------------------------------------------------- ld.so hooks
+
+    def install(self, loader: Loader) -> None:
+        if not self.engine.config.active:
+            return
+        engine = self.engine
+
+        # --- thread/process management -----------------------------------
+        def wrap_spawn(symbol: str):
+            real = loader.real(symbol)
+
+            def wrapper(ctx: "GuestCallContext", fn, args=(), name=""):
+                tid = real(ctx, fn, args, name)
+                task = ctx.process.tasks[tid]
+                engine.init_thread(task)
+                task.exit_hooks.append(engine.teardown_thread)
+                return tid
+
+            return wrapper
+
+        loader.interpose("pthread_create", wrap_spawn("pthread_create"))
+        loader.interpose("clone", wrap_spawn("clone"))
+
+        real_fork = loader.real("fork")
+
+        def fork_wrapper(ctx: "GuestCallContext", child_main, name=""):
+            # The child inherits LD_PRELOAD + FPE_* via the environment, so
+            # a fresh FPSpy instantiates inside it automatically; the
+            # wrapper exists (as in real FPSpy) to make that following of
+            # forks an explicit, observable interposition point.
+            return real_fork(ctx, child_main, name)
+
+        loader.interpose("fork", fork_wrapper)
+
+        # --- signal hooking ----------------------------------------------
+        for symbol in ("signal", "sigaction"):
+            loader.interpose(symbol, self._make_signal_wrapper(loader, symbol))
+
+        # --- floating point environment control ---------------------------
+        for symbol in sorted(FENV_SYMBOLS):
+            loader.interpose(symbol, self._make_fenv_wrapper(loader, symbol))
+
+    def _make_signal_wrapper(self, loader: Loader, symbol: str):
+        engine = self.engine
+        real = loader.real(symbol)
+
+        def wrapper(ctx: "GuestCallContext", signo: int, handler):
+            sig = Signal(signo)
+            if (
+                engine.active
+                and engine.config.mode == Mode.INDIVIDUAL
+                and sig in engine.owned_signals()
+            ):
+                if engine.config.aggressive:
+                    # Aggressive mode: do not step aside for incidental
+                    # signal use; shadow the app's handler instead.
+                    prev = engine.shadowed_handlers.get(sig, SIG_DFL)
+                    engine.shadowed_handlers[sig] = handler
+                    return prev
+                if engine.config.disable_on_signals:
+                    engine.step_aside(f"application hooked {sig.name}")
+            return real(ctx, signo, handler)
+
+        return wrapper
+
+    def _make_fenv_wrapper(self, loader: Loader, symbol: str):
+        engine = self.engine
+        real = loader.real(symbol)
+
+        def wrapper(ctx: "GuestCallContext", *args, **kwargs):
+            if engine.active and engine.config.disable_on_fenv:
+                engine.step_aside(f"application called {symbol}()")
+            return real(ctx, *args, **kwargs)
+
+        return wrapper
+
+    # ----------------------------------------------------- ctor/dtor hooks
+
+    def constructor(self, task: "Task") -> None:
+        """Runs on the main thread before ``main()`` (section 3.4)."""
+        if not self.engine.config.active:
+            return
+        self.engine.init_thread(task)
+
+    def destructor(self, task: "Task") -> None:
+        """Runs after ``main()``; completes the main thread's trace."""
+        if not self.engine.config.active:
+            return
+        self.engine.teardown_thread(task)
+
+
+register_preload("fpspy.so", FPSpyLibrary)

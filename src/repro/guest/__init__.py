@@ -1,0 +1,19 @@
+"""Guest program authoring layer.
+
+Guest "application binaries" are Python generator functions that yield a
+stream of operations -- floating point instructions, libc calls, and
+blocks of non-FP work -- to the simulated CPU.  The generator protocol
+mirrors an instruction stream: the CPU executes each yielded op and sends
+the result back into the generator, exactly like a register writeback.
+
+The crucial property (matching the paper's "existing, unmodified binary"
+requirement) is that guest programs know nothing about FPSpy: they call
+``pthread_create``/``signal``/``fe*`` through the dynamic linker's symbol
+table, and whether FPSpy has interposed on those symbols is invisible to
+them.
+"""
+
+from repro.guest.ops import GuestOp, LibcCall, IntWork
+from repro.guest.program import GuestProgram, KernelBuilder
+
+__all__ = ["GuestOp", "LibcCall", "IntWork", "GuestProgram", "KernelBuilder"]

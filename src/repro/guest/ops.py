@@ -1,0 +1,46 @@
+"""Operation types a guest program can yield to the simulated CPU.
+
+:class:`repro.isa.FPInstruction` is also a valid guest op (the common one);
+it lives in the ISA package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class GuestOp:
+    """Marker base class for non-FP guest operations."""
+
+    __slots__ = ()
+
+
+@dataclass
+class LibcCall(GuestOp):
+    """A call through the PLT to a dynamically-resolved symbol.
+
+    The call is resolved by the process's dynamic linker, so a preloaded
+    FPSpy may interpose.  The CPU sends the call's return value back into
+    the yielding generator.
+    """
+
+    name: str
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class IntWork(GuestOp):
+    """``count`` non-floating-point instructions (loads, stores, ALU ops).
+
+    Advances virtual time and the cycle clock without touching the FPU.
+    Guest programs use this to model the integer portion of their kernels,
+    which matters for event-*rate* measurements (Figures 12, 13, 15, 16).
+    """
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("IntWork count must be positive")

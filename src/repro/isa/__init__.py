@@ -1,0 +1,35 @@
+"""The simulated x64 SSE/AVX floating point instruction set.
+
+FPSpy traces identify instructions by *form* (mnemonic, e.g. ``mulsd``)
+and by *address* (the RIP of the faulting instruction); Figures 17-19 of
+the paper are rank-popularity analyses over exactly these two keys.  This
+package defines the form catalogue (the 39 SSE forms shared across the
+study's codes plus the 25 AVX/FMA forms observed only in GROMACS --
+Figure 18), a deterministic synthetic byte encoding per form, and the
+execution semantics of each form in terms of :class:`repro.fp.SoftFPU`.
+"""
+
+from repro.isa.forms import (
+    InstructionForm,
+    OpKind,
+    FORMS,
+    SSE_FORMS,
+    AVX_FORMS,
+    form,
+)
+from repro.isa.instruction import CodeSite, CodeLayout, FPInstruction
+from repro.isa.semantics import execute_form, ExecutionOutcome
+
+__all__ = [
+    "InstructionForm",
+    "OpKind",
+    "FORMS",
+    "SSE_FORMS",
+    "AVX_FORMS",
+    "form",
+    "CodeSite",
+    "CodeLayout",
+    "FPInstruction",
+    "execute_form",
+    "ExecutionOutcome",
+]

@@ -1,0 +1,217 @@
+"""The kernel proper: process lifecycle, scheduling, timers, wall clock.
+
+The simulated machine is modeled as a single core running a deterministic
+round-robin schedule over all runnable tasks.  Wall-clock time is the
+global cycle counter divided by the core frequency (defaulting to the
+2.1 GHz of the paper's Opteron 6272 testbed); per-task user/system cycle
+counters provide the Figure 6 breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.kernel.process import Process
+from repro.kernel.signals import SigInfo, Signal
+from repro.kernel.task import Task, TaskState
+from repro.kernel.vfs import VFS
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Tunables for the simulated machine."""
+
+    freq_hz: float = 2.1e9  #: core clock (AMD Opteron 6272, paper section 4)
+    quantum: int = 128  #: guest ops per scheduling slice
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+
+@dataclass
+class RealTimer:
+    """An ITIMER_REAL analogue counted in wall-clock cycles."""
+
+    expiry_cycles: int
+    interval_cycles: int
+    task: Task
+    signal: Signal = Signal.SIGALRM
+
+
+class Kernel:
+    """The simulated OS kernel and machine."""
+
+    def __init__(self, config: KernelConfig | None = None) -> None:
+        self.config = config or KernelConfig()
+        self.vfs = VFS()
+        self.cycles = 0
+        #: The task currently executing on the (single) simulated core.
+        #: Signal handlers use this the way native code uses TLS.
+        self.current_task: Task | None = None
+        self.processes: dict[int, Process] = {}
+        self._next_pid = 1000
+        self._runq: deque[Task] = deque()
+        self._real_timers: list[RealTimer] = []
+        from repro.machine.cpu import CPU
+
+        self.cpu = CPU(self, self.config.costs)
+
+    # ----------------------------------------------------------- clock
+
+    @property
+    def now_seconds(self) -> float:
+        """Simulated wall-clock time."""
+        return self.cycles / self.config.freq_hz
+
+    # ------------------------------------------------------- processes
+
+    def exec_process(
+        self,
+        main,
+        env: dict[str, str] | None = None,
+        argv: tuple[str, ...] = (),
+        parent: Process | None = None,
+        name: str = "",
+    ) -> Process:
+        """Create a process running ``main`` (a generator factory).
+
+        Mirrors ``execve``: builds the address space, runs the dynamic
+        linker (which honors ``LD_PRELOAD`` from ``env``), executes shared
+        object constructors on the main thread, then schedules ``main``.
+        """
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(
+            pid=pid, kernel=self, env=dict(env or {}), argv=argv,
+            parent=parent, name=name,
+        )
+        self.processes[pid] = proc
+        if parent is not None:
+            parent.children.append(proc)
+
+        from repro.loader.ldso import Loader
+
+        proc.loader = Loader(proc)
+        proc.loader.load()
+
+        task = proc.new_task(main, name="main")
+        # Shared-object constructors run on the main thread before main().
+        proc.loader.run_constructors(task)
+        return proc
+
+    def enqueue(self, task: Task) -> None:
+        self._runq.append(task)
+
+    def post_signal(self, task: Task, info: SigInfo) -> None:
+        task.post_signal(info)
+
+    # -------------------------------------------------------- lifecycle
+
+    def finalize_task(self, task: Task, normal: bool) -> None:
+        """Tear down a task that returned or called ``pthread_exit``."""
+        if task.state != TaskState.RUNNABLE:
+            return
+        task.state = TaskState.EXITED
+        if normal:
+            # Close the generator so thunk ``finally`` blocks (e.g. FPSpy's
+            # thread teardown) run.
+            task.gen.close()
+            for hook in task.exit_hooks:
+                hook(task)
+        proc = task.process
+        if proc.alive and not proc.live_tasks():
+            self.exit_process(proc, 0)
+
+    def exit_process(self, proc: Process, code: int) -> None:
+        """Normal process exit: destructors run, then tasks are reaped."""
+        if not proc.alive:
+            return
+        if proc.loader is not None:
+            # Destructors run on the exiting process's main thread context.
+            proc.loader.run_destructors(proc.main_task)
+        for t in proc.tasks.values():
+            if t.state == TaskState.RUNNABLE:
+                t.state = TaskState.EXITED
+                t.gen.close()
+                for hook in t.exit_hooks:
+                    hook(t)
+        proc.exit_code = code
+
+    def kill_process(self, proc: Process, signo: Signal) -> None:
+        """Fatal-signal death: no destructors, no teardown hooks."""
+        if not proc.alive:
+            return
+        for t in proc.tasks.values():
+            if t.state == TaskState.RUNNABLE:
+                t.state = TaskState.KILLED
+        proc.killed_by = signo
+
+    # ----------------------------------------------------------- timers
+
+    def arm_real_timer(
+        self, task: Task, initial_s: float, interval_s: float = 0.0,
+        signal: Signal = Signal.SIGALRM,
+    ) -> None:
+        """setitimer(ITIMER_REAL)-style wall-clock timer for a task."""
+        self._real_timers = [t for t in self._real_timers if t.task is not task]
+        if initial_s <= 0:
+            return
+        self._real_timers.append(
+            RealTimer(
+                expiry_cycles=self.cycles + int(initial_s * self.config.freq_hz),
+                interval_cycles=int(interval_s * self.config.freq_hz),
+                task=task,
+                signal=signal,
+            )
+        )
+
+    def cycles_until_real_timer(self, task: Task) -> int | None:
+        """Cycles until this task's earliest real timer fires (None if no
+        timer is armed for it)."""
+        expiries = [
+            t.expiry_cycles for t in self._real_timers if t.task is task
+        ]
+        if not expiries:
+            return None
+        return max(0, min(expiries) - self.cycles)
+
+    def _fire_timers(self) -> None:
+        if not self._real_timers:
+            return
+        keep: list[RealTimer] = []
+        for timer in self._real_timers:
+            if timer.expiry_cycles <= self.cycles and timer.task.alive:
+                timer.task.post_signal(SigInfo(signo=timer.signal))
+                if timer.interval_cycles > 0:
+                    timer.expiry_cycles = self.cycles + timer.interval_cycles
+                    keep.append(timer)
+            elif timer.task.alive:
+                keep.append(timer)
+        self._real_timers = keep
+
+    # -------------------------------------------------------- scheduler
+
+    def run(self, max_ops: int | None = None) -> int:
+        """Round-robin all runnable tasks to completion (or an op budget).
+
+        Returns the number of guest operations executed.
+        """
+        executed = 0
+        while self._runq:
+            task = self._runq.popleft()
+            if not task.alive:
+                continue
+            for _ in range(self.config.quantum):
+                stepped = self.cpu.step(task)
+                if self._real_timers:
+                    self._fire_timers()
+                if not stepped:
+                    break
+                executed += 1
+                if max_ops is not None and executed >= max_ops:
+                    if task.alive:
+                        self._runq.append(task)
+                    return executed
+            if task.alive:
+                self._runq.append(task)
+        return executed

@@ -1,0 +1,63 @@
+"""A tiny append-oriented in-memory file system for trace output.
+
+The paper notes FPSpy's only I/O operation is an append and that log
+records are self-describing so ordering never matters (section 3.7).  The
+VFS models exactly that: files are byte buffers supporting append and
+whole-file read, with per-file append counters so tests can verify the
+embarrassingly-parallel property (no cross-thread file sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VFile:
+    """One in-memory file."""
+
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+    appends: int = 0
+
+    def append(self, payload: bytes) -> int:
+        self.data += payload
+        self.appends += 1
+        return len(payload)
+
+    def read(self) -> bytes:
+        return bytes(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class VFS:
+    """Flat-namespace file system (paths are opaque strings)."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, VFile] = {}
+
+    def open(self, path: str, create: bool = True) -> VFile:
+        f = self._files.get(path)
+        if f is None:
+            if not create:
+                raise FileNotFoundError(path)
+            f = VFile(path)
+            self._files[path] = f
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def read(self, path: str) -> bytes:
+        return self.open(path, create=False).read()
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def remove(self, path: str) -> None:
+        del self._files[path]
+
+    def __len__(self) -> int:
+        return len(self._files)

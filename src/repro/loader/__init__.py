@@ -1,0 +1,41 @@
+"""The simulated dynamic linker (``ld.so``) and C library.
+
+FPSpy attaches to programs purely through this layer: ``LD_PRELOAD``
+names a shared object whose symbols are resolved *before* libc's, so
+FPSpy's wrappers for process/thread management, signal hooking, and
+floating point environment control shadow the real ones (paper section
+3.3).  Constructor/destructor attributes hook FPSpy's initialization and
+teardown around ``main`` (section 3.4).
+"""
+
+from repro.loader.ldso import Loader, PreloadLibrary, register_preload
+from repro.loader.fenv import (
+    FE_ALL_EXCEPT,
+    FE_DFL_ENV,
+    FE_DIVBYZERO,
+    FE_INEXACT,
+    FE_INVALID,
+    FE_OVERFLOW,
+    FE_UNDERFLOW,
+    FE_DENORM,
+    FEnv,
+    fe_to_flags,
+    flags_to_fe,
+)
+
+__all__ = [
+    "Loader",
+    "PreloadLibrary",
+    "register_preload",
+    "FE_ALL_EXCEPT",
+    "FE_DFL_ENV",
+    "FE_DIVBYZERO",
+    "FE_INEXACT",
+    "FE_INVALID",
+    "FE_OVERFLOW",
+    "FE_UNDERFLOW",
+    "FE_DENORM",
+    "FEnv",
+    "fe_to_flags",
+    "flags_to_fe",
+]

@@ -1,0 +1,13 @@
+"""The simulated CPU: fetch/execute, precise FP faults, single-step traps.
+
+This package implements the hardware half of Figure 4 of the paper: FP
+condition codes set as a side effect of every instruction, precise
+exceptions *before writeback* when a condition is unmasked, and the
+``RFLAGS.TF`` single-step trap FPSpy uses to regain control immediately
+after a re-executed instruction.
+"""
+
+from repro.machine.costs import CostModel
+from repro.machine.cpu import CPU, GuestCallContext, ThreadExitRequested
+
+__all__ = ["CostModel", "CPU", "GuestCallContext", "ThreadExitRequested"]

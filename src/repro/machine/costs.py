@@ -1,0 +1,36 @@
+"""Cycle cost model.
+
+The paper's overhead analysis (section 3.7, Figure 6) hinges on one
+asymmetry: a floating point instruction normally costs a handful of
+cycles, but when it raises an unmasked exception the trap-and-emulate
+cycle costs *thousands* -- two faults into the kernel (#XM then #DB) plus
+two signal deliveries back to user space.  The constants here encode that
+asymmetry; absolute values are calibrated to the paper's "~1000x
+instruction-handling overhead" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the CPU and kernel."""
+
+    fp_instr: int = 4  #: a retiring SSE/AVX FP instruction
+    int_instr: int = 1  #: one unit of integer work
+    libc_call: int = 60  #: PLT call + C library prologue
+    fault_entry: int = 1200  #: hardware exception -> kernel entry (system)
+    signal_deliver: int = 800  #: kernel building the signal frame (system)
+    sigreturn: int = 700  #: sigreturn back through the kernel (system)
+    handler_user: int = 400  #: typical user-level handler body (user)
+    trace_append: int = 250  #: appending one trace record (user)
+
+    @property
+    def event_roundtrip(self) -> int:
+        """Cycles for one full FPSpy event: SIGFPE + SIGTRAP round trips."""
+        return 2 * (self.fault_entry + self.signal_deliver + self.sigreturn)
+
+
+DEFAULT_COSTS = CostModel()

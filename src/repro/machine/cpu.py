@@ -1,0 +1,261 @@
+"""The CPU execution engine.
+
+``CPU.step`` executes one guest operation for a task, implementing the
+exact hardware contract FPSpy's individual-mode state machine depends on
+(paper section 3.6):
+
+1. every FP instruction sets its condition codes in ``%mxcsr`` (sticky);
+2. if any raised condition is *unmasked*, a precise exception is taken
+   **before writeback** -- the kernel turns it into a SIGFPE whose
+   ucontext carries RIP, instruction bytes, RSP, and ``%mxcsr``;
+3. when the handler returns, the kernel restarts the *same* instruction;
+4. if ``RFLAGS.TF`` is set, a single-step trap (SIGTRAP) fires after the
+   instruction completes, and the interrupted RIP is the *next*
+   instruction.
+
+Signal handlers run as host callables but are charged cycle costs, and
+their writes to the ucontext's ``mxcsr``/``EFL`` are applied back to the
+task -- this is how FPSpy masks exceptions and toggles single-stepping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.fp.flags import Flag, highest_priority
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import FPInstruction
+from repro.isa.semantics import execute_form
+from repro.kernel.signals import (
+    EFLAGS_TF,
+    FATAL_BY_DEFAULT,
+    SIG_DFL,
+    SIG_IGN,
+    MContext,
+    SigInfo,
+    Signal,
+    SiCode,
+    UContext,
+    flag_to_sicode,
+)
+from repro.kernel.task import Task, TaskState
+from repro.machine.costs import DEFAULT_COSTS, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class ThreadExitRequested(Exception):
+    """Raised by the ``pthread_exit`` libc implementation."""
+
+
+class ProcessExitRequested(Exception):
+    """Raised by the ``exit`` libc implementation."""
+
+    def __init__(self, code: int = 0) -> None:
+        super().__init__(code)
+        self.code = code
+
+
+@dataclass
+class GuestCallContext:
+    """What a libc implementation sees when invoked by the CPU."""
+
+    kernel: "Kernel"
+    task: Task
+
+    @property
+    def process(self):
+        return self.task.process
+
+
+class CPU:
+    """Executes guest operations for the kernel's scheduler."""
+
+    def __init__(self, kernel: "Kernel", costs: CostModel = DEFAULT_COSTS) -> None:
+        self.kernel = kernel
+        self.costs = costs
+
+    # ------------------------------------------------------------- signals
+
+    def _build_ucontext(self, task: Task, info: SigInfo) -> UContext:
+        mctx = MContext(
+            rip=info.addr if info.signo == Signal.SIGFPE else task.last_rip,
+            rsp=task.rsp,
+            eflags=EFLAGS_TF if task.trap_flag else 0,
+            mxcsr=task.mxcsr.value,
+        )
+        op = task.pending_op
+        if info.signo == Signal.SIGFPE and isinstance(op, FPInstruction):
+            mctx.instruction = op.site.encoding
+            mctx.operands = op.inputs
+        return UContext(mcontext=mctx)
+
+    def deliver_signals(self, task: Task) -> bool:
+        """Deliver all pending signals.  Returns False if the task died."""
+        while task.pending_signals and task.alive:
+            info = task.pending_signals.popleft()
+            disposition = task.process.disposition(info.signo)
+            if disposition == SIG_IGN:
+                continue
+            if disposition == SIG_DFL:
+                if info.signo in FATAL_BY_DEFAULT:
+                    self.kernel.kill_process(task.process, info.signo)
+                    return False
+                continue
+            # User handler: kernel crossing, frame setup, handler body.
+            task.stime_cycles += self.costs.signal_deliver
+            self.kernel.cycles += self.costs.signal_deliver
+            uctx = self._build_ucontext(task, info)
+            disposition(info.signo, info, uctx)
+            # Apply handler writes back to the architectural state.
+            task.mxcsr.value = uctx.mcontext.mxcsr
+            task.trap_flag = uctx.mcontext.trap_flag
+            task.stime_cycles += self.costs.sigreturn
+            self.kernel.cycles += self.costs.sigreturn
+            emulated = uctx.mcontext.emulated_results
+            if emulated is not None and isinstance(task.pending_op, FPInstruction):
+                # Trap-and-emulate: the handler computed the instruction's
+                # results itself; retire without re-execution.
+                op = task.pending_op
+                op.results = tuple(emulated)
+                task.pending_op = None
+                task.send_value = op.results
+                task.last_rip = op.site.address + len(op.site.encoding)
+                task.advance_vtime(1)
+        return task.alive
+
+    # --------------------------------------------------------------- fetch
+
+    def _fetch(self, task: Task):
+        """Get the current op: a restarted pending op or the next yield."""
+        if task.pending_op is not None:
+            return task.pending_op
+        try:
+            if not task.started:
+                task.started = True
+                return next(task.gen)
+            value, task.send_value = task.send_value, None
+            return task.gen.send(value)
+        except StopIteration:
+            self.kernel.finalize_task(task, normal=True)
+            return None
+        except ProcessExitRequested as exc:
+            self.kernel.exit_process(task.process, exc.code)
+            return None
+
+    # ------------------------------------------------------------- execute
+
+    def step(self, task: Task) -> bool:
+        """Run one operation (or signal burst).  False => task not runnable."""
+        if not task.alive:
+            return False
+        self.kernel.current_task = task
+        if not self.deliver_signals(task):
+            return False
+        op = self._fetch(task)
+        if op is None:
+            return False
+
+        if isinstance(op, FPInstruction):
+            return self._exec_fp(task, op)
+        if isinstance(op, IntWork):
+            return self._exec_int(task, op)
+        if isinstance(op, LibcCall):
+            return self._exec_call(task, op)
+        raise TypeError(f"guest yielded unsupported op {op!r}")
+
+    def _exec_fp(self, task: Task, op: FPInstruction) -> bool:
+        outcome = execute_form(op.form, op.inputs, task.mxcsr.context())
+        # Condition codes are set as a side effect regardless of masking.
+        task.mxcsr.set_status(outcome.flags)
+
+        pending = task.mxcsr.unmasked_pending(outcome.flags)
+        if outcome.tiny and not (task.mxcsr.masks & Flag.UE):
+            # Unmasked-UM corner: even an *exact* tiny result traps.
+            pending |= Flag.UE
+        if pending:
+            # Precise fault before writeback: the op stays current and will
+            # be restarted when the handler returns.
+            task.pending_op = op
+            delivered = highest_priority(pending)
+            task.stime_cycles += self.costs.fault_entry
+            self.kernel.cycles += self.costs.fault_entry
+            task.post_signal(
+                SigInfo(
+                    signo=Signal.SIGFPE,
+                    code=int(flag_to_sicode(delivered)),
+                    addr=op.site.address,
+                )
+            )
+            return True
+
+        # Writeback and retire.
+        op.results = outcome.results
+        task.pending_op = None
+        task.send_value = outcome.results
+        task.last_rip = op.site.address + len(op.site.encoding)
+        task.utime_cycles += self.costs.fp_instr
+        self.kernel.cycles += self.costs.fp_instr
+        task.advance_vtime(1)
+        self._maybe_trap(task)
+        return True
+
+    def _exec_int(self, task: Task, op: IntWork) -> bool:
+        if task.pending_int_remaining == 0:
+            task.pending_int_remaining = op.count
+        if task.trap_flag:
+            # Single-stepping: one instruction, then trap.
+            chunk = 1
+        else:
+            chunk = task.pending_int_remaining
+            # Precise timers: a long run of integer instructions stops at
+            # the next timer expiry so the signal lands where the timer
+            # said, not at the end of the block.
+            if task.vtimer is not None:
+                chunk = min(chunk, max(1, task.vtimer.remaining))
+            real_budget = self.kernel.cycles_until_real_timer(task)
+            if real_budget is not None:
+                chunk = min(chunk, max(1, real_budget // self.costs.int_instr))
+        task.pending_int_remaining -= chunk
+        task.utime_cycles += chunk * self.costs.int_instr
+        self.kernel.cycles += chunk * self.costs.int_instr
+        task.advance_vtime(chunk)
+        if task.pending_int_remaining > 0:
+            task.pending_op = op  # more units to run after the trap
+        else:
+            task.pending_op = None
+            task.send_value = None
+        self._maybe_trap(task)
+        return True
+
+    def _exec_call(self, task: Task, op: LibcCall) -> bool:
+        loader = task.process.loader
+        assert loader is not None, "process has no loader"
+        impl = loader.resolve(op.name)
+        ctx = GuestCallContext(kernel=self.kernel, task=task)
+        task.utime_cycles += self.costs.libc_call
+        self.kernel.cycles += self.costs.libc_call
+        try:
+            result = impl(ctx, *op.args, **op.kwargs)
+        except ThreadExitRequested:
+            self.kernel.finalize_task(task, normal=True)
+            return False
+        except ProcessExitRequested as exc:
+            self.kernel.exit_process(task.process, exc.code)
+            return False
+        task.pending_op = None
+        task.send_value = result
+        task.advance_vtime(1)
+        self._maybe_trap(task)
+        return True
+
+    def _maybe_trap(self, task: Task) -> None:
+        """Post the single-step SIGTRAP if TF is set after retirement."""
+        if task.trap_flag:
+            task.stime_cycles += self.costs.fault_entry
+            self.kernel.cycles += self.costs.fault_entry
+            task.post_signal(
+                SigInfo(signo=Signal.SIGTRAP, code=int(SiCode.TRAP_TRACE))
+            )

@@ -1,0 +1,37 @@
+"""MPE: trap-and-emulate mixed-precision emulation (paper section 6).
+
+The paper's closing analysis argues that because rounding concentrates in
+a handful of instruction forms and sites, a trap-and-emulate system could
+"bridge between floating point instructions that command the x64 hardware
+floating point unit, and calls into an arbitrary precision software
+floating point unit such as MPFR ... allowing existing, unmodified
+application binaries to seamlessly execute with higher precision."
+
+This package implements that proposed system against the same substrate
+FPSpy runs on:
+
+* :mod:`repro.mpe.apfloat` -- an arbitrary-precision binary float built
+  on the same correctly-rounded core as the simulated FPU (our MPFR
+  substitute);
+* :mod:`repro.mpe.emulator` -- an ``LD_PRELOAD`` library that unmasks the
+  Inexact exception and, instead of FPSpy's record-and-single-step cycle,
+  *emulates* the faulting instruction at extended precision, maintaining
+  a shadow value table so precision is carried across dependent
+  instructions;
+* :mod:`repro.mpe.metrics` -- ULP/relative-error metrics for evaluating
+  the mitigation.
+"""
+
+from repro.mpe.apfloat import APFloat, extended_format
+from repro.mpe.emulator import PrecisionEmulator, mpe_env, MPE_PRELOAD_NAME
+from repro.mpe.metrics import ulp_distance, relative_error
+
+__all__ = [
+    "APFloat",
+    "extended_format",
+    "PrecisionEmulator",
+    "mpe_env",
+    "MPE_PRELOAD_NAME",
+    "ulp_distance",
+    "relative_error",
+]

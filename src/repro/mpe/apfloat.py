@@ -1,0 +1,148 @@
+"""Arbitrary-precision binary floating point (the MPFR substitute).
+
+Rather than reimplementing arithmetic, we observe that the softfloat core
+of :mod:`repro.fp` is parameterized over a :class:`BinaryFormat` -- so an
+"arbitrary precision float" is just a *wider format*.  ``extended_format``
+manufactures formats with any significand length; :class:`APFloat` wraps a
+bit pattern in such a format with convenience arithmetic, giving correct
+rounding at every precision (the property MPFR provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+
+from repro.fp.formats import BINARY64, BinaryFormat
+from repro.fp.rounding import RoundingMode, round_pack
+from repro.fp.softfloat import FPContext, SoftFPU
+
+_FPU = SoftFPU()
+
+
+@lru_cache(maxsize=None)
+def extended_format(precision: int, exp_bits: int = 19) -> BinaryFormat:
+    """A binary format with a ``precision``-bit significand.
+
+    The default 19 exponent bits give a range vastly wider than binary64
+    (|exp| up to ~2^18), so intermediate overflow/underflow is effectively
+    eliminated -- matching MPFR's practically-unbounded exponent.
+    """
+    if precision < 2:
+        raise ValueError("precision must be at least 2 bits")
+    emax = (1 << (exp_bits - 1)) - 1
+    return BinaryFormat(
+        name=f"extended{precision}",
+        width=precision + exp_bits,
+        p=precision,
+        emax=emax,
+    )
+
+
+@dataclass(frozen=True)
+class APFloat:
+    """An immutable arbitrary-precision float value.
+
+    Arithmetic is correctly rounded in the value's own format; mixed
+    operands are first widened to the wider of the two formats (exact).
+    """
+
+    bits: int
+    fmt: BinaryFormat
+
+    # ---- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_double_bits(cls, bits64: int, precision: int = 128) -> "APFloat":
+        fmt = extended_format(precision)
+        widened = _FPU.convert(BINARY64, fmt, bits64)
+        return cls(bits=widened.bits, fmt=fmt)
+
+    @classmethod
+    def from_float(cls, value: float, precision: int = 128) -> "APFloat":
+        from repro.fp.formats import float_to_bits64
+
+        return cls.from_double_bits(float_to_bits64(value), precision)
+
+    @classmethod
+    def from_fraction(cls, value: Fraction, precision: int = 128) -> "APFloat":
+        fmt = extended_format(precision)
+        if value == 0:
+            return cls(bits=0, fmt=fmt)
+        sign = 1 if value < 0 else 0
+        value = abs(value)
+        num, den = value.numerator, value.denominator
+        # Scale the numerator so integer division yields p+3 quotient bits.
+        shift = fmt.p + 3 + max(0, den.bit_length() - num.bit_length())
+        q, rem = divmod(num << shift, den)
+        r = round_pack(fmt, RoundingMode.NEAREST, sign, q, -shift, sticky=rem != 0)
+        return cls(bits=r.bits, fmt=fmt)
+
+    # ---- conversions -------------------------------------------------------
+
+    def to_double_bits(self) -> int:
+        """Round to binary64 (the write-back path of the emulator)."""
+        return _FPU.convert(self.fmt, BINARY64, self.bits).bits
+
+    def to_float(self) -> float:
+        from repro.fp.formats import bits64_to_float
+
+        return bits64_to_float(self.to_double_bits())
+
+    def to_fraction(self) -> Fraction:
+        """Exact rational value (finite values only)."""
+        fmt = self.fmt
+        if fmt.is_zero(self.bits):
+            return Fraction(0)
+        if not fmt.is_finite(self.bits):
+            raise ValueError("no rational value for NaN/inf")
+        sign, mant, exp = fmt.decompose(self.bits)
+        frac = Fraction(mant) * (Fraction(2) ** exp)
+        return -frac if sign else frac
+
+    # ---- arithmetic ---------------------------------------------------------
+
+    def _coerce(self, other: "APFloat") -> tuple[BinaryFormat, int, int]:
+        if other.fmt.p >= self.fmt.p:
+            wide = other.fmt
+        else:
+            wide = self.fmt
+        a = self.bits if self.fmt is wide else _FPU.convert(self.fmt, wide, self.bits).bits
+        b = other.bits if other.fmt is wide else _FPU.convert(other.fmt, wide, other.bits).bits
+        return wide, a, b
+
+    def _binop(self, other: "APFloat", op) -> "APFloat":
+        wide, a, b = self._coerce(other)
+        return APFloat(bits=op(wide, a, b, FPContext()).bits, fmt=wide)
+
+    def __add__(self, other: "APFloat") -> "APFloat":
+        return self._binop(other, _FPU.add)
+
+    def __sub__(self, other: "APFloat") -> "APFloat":
+        return self._binop(other, _FPU.sub)
+
+    def __mul__(self, other: "APFloat") -> "APFloat":
+        return self._binop(other, _FPU.mul)
+
+    def __truediv__(self, other: "APFloat") -> "APFloat":
+        return self._binop(other, _FPU.div)
+
+    def sqrt(self) -> "APFloat":
+        return APFloat(
+            bits=_FPU.sqrt(self.fmt, self.bits, FPContext()).bits, fmt=self.fmt
+        )
+
+    def fma(self, other: "APFloat", addend: "APFloat") -> "APFloat":
+        wide, a, b = self._coerce(other)
+        wide2, a2, c = APFloat(a, wide)._coerce(addend)
+        b2 = b if wide2 is wide else _FPU.convert(wide, wide2, b).bits
+        return APFloat(
+            bits=_FPU.fma(wide2, a2, b2, c, FPContext()).bits, fmt=wide2
+        )
+
+    def __neg__(self) -> "APFloat":
+        return APFloat(bits=self.bits ^ self.fmt.sign_bit, fmt=self.fmt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"APFloat({self.to_float()!r}, p={self.fmt.p})"

@@ -1,0 +1,31 @@
+"""Accuracy metrics for evaluating the precision mitigation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.fp.formats import BINARY64, BinaryFormat
+
+
+def ulp_distance(a_bits: int, b_bits: int, fmt: BinaryFormat = BINARY64) -> int:
+    """Distance in units-in-the-last-place between two finite values.
+
+    Uses the monotone integer mapping of IEEE bit patterns (sign-magnitude
+    to two's-complement), so the result counts representable values
+    between ``a`` and ``b``.
+    """
+
+    def key(bits: int) -> int:
+        if bits & fmt.sign_bit:
+            return -(bits & ~fmt.sign_bit)
+        return bits
+
+    return abs(key(a_bits) - key(b_bits))
+
+
+def relative_error(approx: float, exact: Fraction) -> float:
+    """|approx - exact| / |exact| computed exactly, returned as float."""
+    if exact == 0:
+        return 0.0 if approx == 0.0 else float("inf")
+    err = abs(Fraction(approx) - exact) / abs(exact)
+    return float(err)

@@ -1,0 +1,8 @@
+"""``python -m repro.study`` entry point."""
+
+import sys
+
+from repro.study.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

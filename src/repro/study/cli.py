@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro.study <command>``.
+
+Commands
+--------
+``figures``   run the four-pass study and print every table/figure
+              (optionally a subset, optionally written to a directory)
+``validate``  run the paper's validation matrix
+``overhead``  just the Figure 6 overhead sweep
+``spy``       run one named application under FPSpy and dump its traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(args) -> int:
+    from repro.study import figures as F
+    from repro.study.passes import get_study
+
+    wanted = set(args.only) if args.only else None
+    needs_study = wanted is None or wanted - {"fig06", "fig08", "fig10"}
+    study = get_study(args.scale, args.seed) if needs_study else None
+
+    producers = {
+        "fig06": lambda: F.fig06_overhead(args.scale, args.seed),
+        "fig07": lambda: F.fig07_inventory(study),
+        "fig08": F.fig08_source_analysis,
+        "fig09": lambda: F.fig09_aggregate(study),
+        "fig10": lambda: F.fig10_parsec(args.scale, args.seed),
+        "fig11": lambda: F.fig11_filtered(study),
+        "fig12": lambda: F.fig12_enzo_nans(study),
+        "fig13": lambda: F.fig13_laghos_bursts(study),
+        "fig14": lambda: F.fig14_sampled(study),
+        "fig15": lambda: F.fig15_inexact_counts(study),
+        "fig16": lambda: F.fig16_cumulative(study),
+        "fig17": lambda: F.fig17_form_rankpop(study),
+        "fig18": lambda: F.fig18_form_histogram(study),
+        "fig19": lambda: F.fig19_addr_rankpop(study),
+    }
+    for ident, produce in producers.items():
+        if wanted is not None and ident not in wanted:
+            continue
+        result = produce()
+        text = f"== {result.ident}: {result.title} ==\n{result.text}\n"
+        if args.out:
+            import pathlib
+
+            path = pathlib.Path(args.out) / f"{result.ident}.txt"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            print(f"wrote {path}")
+        else:
+            print(text)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.validation import validate_all
+
+    outcomes = validate_all()
+    failed = 0
+    for o in outcomes:
+        status = "PASS" if o.passed else f"FAIL ({o.detail})"
+        print(f"{o.model:<28s} {o.mode:<11s} {status}")
+        failed += not o.passed
+    del args
+    return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.study.report import build_report
+
+    text = build_report(args.scale, args.seed)
+    if args.out:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"wrote {path}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.study.figures import fig06_overhead
+
+    print(fig06_overhead(args.scale, args.seed).text)
+    return 0
+
+
+def _cmd_spy(args) -> int:
+    from repro.apps import APPLICATIONS
+    from repro.fpspy import fpspy_env
+    from repro.kernel.kernel import Kernel
+    from repro.trace.dump import dump_vfs
+
+    if args.app not in APPLICATIONS:
+        print(f"unknown app {args.app!r}; choose from {APPLICATIONS.names()}",
+              file=sys.stderr)
+        return 2
+    app = APPLICATIONS.create(args.app, scale=args.scale)
+    env = fpspy_env(
+        args.mode,
+        except_list=args.except_list,
+        poisson=args.poisson,
+    )
+    kernel = Kernel()
+    kernel.exec_process(app.main, env=env, name=app.name)
+    kernel.run()
+    print(dump_vfs(kernel.vfs, limit_per_file=args.limit))
+    print(f"simulated wall time: {kernel.now_seconds * 1e3:.3f} ms")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.study",
+        description="FPSpy reproduction study driver",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    fig.add_argument("--scale", type=float, default=1.0)
+    fig.add_argument("--seed", type=int, default=1234)
+    fig.add_argument("--only", nargs="*", metavar="figNN",
+                     help="subset of figure ids (default: all)")
+    fig.add_argument("--out", help="write each figure to <out>/<id>.txt")
+    fig.set_defaults(fn=_cmd_figures)
+
+    val = sub.add_parser("validate", help="run the validation matrix")
+    val.set_defaults(fn=_cmd_validate)
+
+    rep = sub.add_parser("report", help="full markdown study report")
+    rep.add_argument("--scale", type=float, default=1.0)
+    rep.add_argument("--seed", type=int, default=1234)
+    rep.add_argument("--out", help="write to file instead of stdout")
+    rep.set_defaults(fn=_cmd_report)
+
+    ovh = sub.add_parser("overhead", help="Figure 6 overhead sweep")
+    ovh.add_argument("--scale", type=float, default=1.0)
+    ovh.add_argument("--seed", type=int, default=1234)
+    ovh.set_defaults(fn=_cmd_overhead)
+
+    spy = sub.add_parser("spy", help="trace one application")
+    spy.add_argument("app", help="application name (e.g. miniaero)")
+    spy.add_argument("--mode", default="aggregate",
+                     choices=["aggregate", "individual"])
+    spy.add_argument("--scale", type=float, default=0.5)
+    spy.add_argument("--except-list", dest="except_list", default=None)
+    spy.add_argument("--poisson", default=None)
+    spy.add_argument("--limit", type=int, default=20,
+                     help="records shown per trace file")
+    spy.set_defaults(fn=_cmd_spy)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

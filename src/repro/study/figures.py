@@ -1,0 +1,440 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figNN_*`` function returns a :class:`FigureResult` whose ``text``
+is a rendered table/series and whose ``data`` carries the structured
+values, so benchmarks and tests can assert on shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.events import EventTable, event_set, inexact_stats
+from repro.analysis.rankpop import (
+    address_rankpop,
+    form_histogram,
+    form_rankpop,
+    forms_only_in,
+)
+from repro.analysis.timeline import cumulative_series, rate_series
+from repro.fp.flags import EVENT_ORDER
+from repro.fpspy import fpspy_env
+from repro.isa.instruction import decode_form
+from repro.study.passes import (
+    FILTER_NO_INEXACT,
+    STUDY_SEED,
+    Study,
+    pass_env,
+)
+from repro.study.targets import TARGET_NAMES, make_targets
+
+
+@dataclass
+class FigureResult:
+    ident: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"== {self.ident}: {self.title} ==\n{self.text}"
+
+
+# ---------------------------------------------------------------- Figure 6
+
+
+def fig06_overhead(scale: float = 1.0, seed: int = 1234) -> FigureResult:
+    """FPSpy overhead on Miniaero across the six configurations."""
+    configs = [
+        ("no-fpspy", {}),
+        ("aggregate", fpspy_env("aggregate")),
+        ("individual+filter", fpspy_env("individual", except_list=FILTER_NO_INEXACT)),
+        ("sampling 5000:100000", fpspy_env(
+            "individual", poisson="5000:100000", timer="virtual", seed=STUDY_SEED)),
+        ("sampling 10000:100000", fpspy_env(
+            "individual", poisson="10000:100000", timer="virtual", seed=STUDY_SEED)),
+        ("sampling 50000:100000", fpspy_env(
+            "individual", poisson="50000:100000", timer="virtual", seed=STUDY_SEED)),
+    ]
+    target = make_targets()["Miniaero"]
+    rows = []
+    for label, env in configs:
+        r = target.run(env, scale=scale, seed=seed)
+        rows.append(
+            {
+                "config": label,
+                "wall": r.wall_seconds,
+                "user": r.user_seconds,
+                "system": r.system_seconds,
+            }
+        )
+    base = rows[0]["wall"]
+    lines = [f"{'config':<24s} {'wall(ms)':>10s} {'user(ms)':>10s} "
+             f"{'sys(ms)':>10s} {'slowdown':>9s}"]
+    for row in rows:
+        lines.append(
+            f"{row['config']:<24s} {row['wall']*1e3:>10.3f} "
+            f"{row['user']*1e3:>10.3f} {row['system']*1e3:>10.3f} "
+            f"{row['wall']/base:>8.2f}x"
+        )
+    return FigureResult(
+        ident="fig06",
+        title="Overhead of FPSpy for Miniaero in various configurations",
+        text="\n".join(lines) + "\n",
+        data={"rows": rows, "baseline_wall": base},
+    )
+
+
+# ---------------------------------------------------------------- Figure 7
+
+
+def fig07_inventory(study: Study) -> FigureResult:
+    """Application/benchmark inventory with unencumbered exec time."""
+    rows = []
+    targets = make_targets()
+    for name in TARGET_NAMES:
+        cls = targets[name].meta["cls"]
+        base = study.baseline[name]
+        rows.append(
+            {
+                "name": name,
+                "dependencies": ", ".join(cls.dependencies) or "N/A",
+                "problem": cls.problem,
+                "loc": cls.loc,
+                "languages": ", ".join(cls.languages),
+                "parallelism": cls.parallelism,
+                "paper_time": cls.paper_exec_time,
+                "sim_wall_ms": base.wall_seconds * 1e3,
+            }
+        )
+    lines = [f"{'name':<12s} {'dependencies':<26s} {'problem':<18s} "
+             f"{'paper time':<14s} {'sim wall(ms)':>12s}"]
+    for r in rows:
+        lines.append(
+            f"{r['name']:<12s} {r['dependencies']:<26s} {r['problem']:<18s} "
+            f"{r['paper_time']:<14s} {r['sim_wall_ms']:>12.3f}"
+        )
+    return FigureResult(
+        ident="fig07",
+        title="Applications and benchmarks in study",
+        text="\n".join(lines) + "\n",
+        data={"rows": rows},
+    )
+
+
+# ---------------------------------------------------------------- Figure 8
+
+#: Column order of the paper's Figure 8.
+FIG8_SYMBOLS: tuple[str, ...] = (
+    "fork", "clone", "pthread_create", "pthread_exit", "signal",
+    "sigaction", "feenableexcept", "fedisableexcept", "fegetexcept",
+    "feclearexcept", "fegetexceptflag", "feraiseexcept",
+    "fesetexceptflag", "fetestexcept", "fegetround", "fesetround",
+    "fegetenv", "feholdexcept", "fesetenv", "feupdateenv",
+    "uc_mcontext.fpregs", "uc_mcontext.fpregs->mxcsr", "REG_EFL",
+    "SIGTRAP", "SIGFPE", "FE_",
+)
+
+
+def fig08_source_analysis() -> FigureResult:
+    """Static source-code analysis: which intercepted symbols appear."""
+    targets = make_targets()
+    rows = {}
+    for name in TARGET_NAMES:
+        rows[name] = set(targets[name].static_symbols)
+    lines = []
+    header = f"{'code':<12s}" + " ".join(f"{i:>2d}" for i in range(len(FIG8_SYMBOLS)))
+    lines.append("columns: " + ", ".join(
+        f"{i}={s}" for i, s in enumerate(FIG8_SYMBOLS)))
+    lines.append(header)
+    for name, syms in rows.items():
+        cells = " ".join(
+            f"{'T' if s in syms else 'f':>2s}" for s in FIG8_SYMBOLS
+        )
+        lines.append(f"{name:<12s}{cells}")
+    return FigureResult(
+        ident="fig08",
+        title="Source code analysis",
+        text="\n".join(lines) + "\n",
+        data={"rows": {k: sorted(v) for k, v in rows.items()},
+              "columns": FIG8_SYMBOLS},
+    )
+
+
+# --------------------------------------------------------- Figures 9/11/14
+
+
+def _event_table(study_pass, ident: str, title: str,
+                 columns=EVENT_ORDER) -> FigureResult:
+    table = EventTable(columns=tuple(columns))
+    for name, result in study_pass.items():
+        table.add(name, event_set(result.traces) & set(columns))
+    return FigureResult(
+        ident=ident, title=title, text=table.render(),
+        data={"table": table.as_dict()},
+    )
+
+
+def fig09_aggregate(study: Study) -> FigureResult:
+    return _event_table(
+        study.aggregate, "fig09",
+        "Analysis of aggregate-mode tracing of applications",
+    )
+
+
+def fig11_filtered(study: Study) -> FigureResult:
+    columns = tuple(c for c in EVENT_ORDER if c != "Inexact")
+    return _event_table(
+        study.filtered, "fig11",
+        "Individual-mode tracing with filtering (Inexact not tracked)",
+        columns=columns,
+    )
+
+
+def fig14_sampled(study: Study) -> FigureResult:
+    return _event_table(
+        study.sampled, "fig14",
+        "Individual-mode tracing with 5% Poisson sampling, incl. Inexact",
+    )
+
+
+# ---------------------------------------------------------------- Figure 10
+
+
+def fig10_parsec(scale: float = 1.0, seed: int = 1234) -> FigureResult:
+    """Aggregate-mode tracing of each PARSEC benchmark (simlarge size)."""
+    from repro.apps.parsec import PARSEC_BENCHMARKS, make_parsec_benchmark
+    from repro.kernel.kernel import Kernel
+    from repro.trace.reader import TraceSet
+
+    table = EventTable()
+    env = pass_env("aggregate")
+    for bench_name in PARSEC_BENCHMARKS:
+        bench = make_parsec_benchmark(bench_name, scale=scale, seed=seed)
+        kernel = Kernel()
+        kernel.exec_process(bench.main, env=env, name=bench.name)
+        kernel.run()
+        traces = TraceSet.from_vfs(kernel.vfs)
+        table.add(bench_name, event_set(traces))
+    return FigureResult(
+        ident="fig10",
+        title="Aggregate-mode tracing of PARSEC benchmarks",
+        text=table.render(),
+        data={"table": table.as_dict()},
+    )
+
+
+# ------------------------------------------------------------ Figures 12/13
+
+
+def fig12_enzo_nans(study: Study, bins: int = 40) -> FigureResult:
+    """Rate of Invalid events over time in ENZO (filtered pass)."""
+    records = list(study.filtered["ENZO"].traces.all_records())
+    centers, rates = rate_series(records, event="Invalid", bins=bins)
+    lines = [f"{'t(ms)':>10s} {'Invalid/s':>12s}"]
+    for t, r in zip(centers, rates):
+        lines.append(f"{t*1e3:>10.4f} {r:>12.1f}")
+    return FigureResult(
+        ident="fig12",
+        title="Rate of Invalid events over time in ENZO",
+        text="\n".join(lines) + "\n",
+        data={"time_s": centers.tolist(), "rate": rates.tolist(),
+              "total": len(records)},
+    )
+
+
+def fig13_laghos_bursts(study: Study, bins: int = 120) -> FigureResult:
+    """Bursts of DivideByZero events in LAGHOS (filtered pass).
+
+    Plots a single rank's log (the paper's zoomed window is one event
+    stream); the busiest per-thread trace file is used.
+    """
+    traces = study.filtered["LAGHOS"].traces
+    busiest = max(traces.individual.values(), key=len, default=[])
+    records = list(busiest)
+    centers, rates = rate_series(records, event="DivideByZero", bins=bins)
+    lines = [f"{'t(ms)':>10s} {'DBZ/s':>12s}"]
+    for t, r in zip(centers, rates):
+        lines.append(f"{t*1e3:>10.4f} {r:>12.1f}")
+    from repro.analysis.timeline import burstiness
+
+    b = burstiness(records, event="DivideByZero")
+    silent = float((rates == 0).mean()) if rates.size else 0.0
+    return FigureResult(
+        ident="fig13",
+        title="Bursts of DivideByZero events in LAGHOS",
+        text="\n".join(lines) + f"\nburstiness(max/median gap) = {b:.1f}\n",
+        data={"time_s": centers.tolist(), "rate": rates.tolist(),
+              "burstiness": b, "silent_fraction": silent},
+    )
+
+
+# ---------------------------------------------------------------- Figure 15
+
+
+def fig15_inexact_counts(study: Study) -> FigureResult:
+    """Inexact event count and rate per application (sampled pass)."""
+    apps = [n for n in TARGET_NAMES if n not in ("PARSEC 3.0", "NAS 3.0")]
+    rows = []
+    for name in apps:
+        r = study.sampled[name]
+        st = inexact_stats(name, r.traces, r.wall_seconds)
+        rows.append({"name": name, "count": st.count, "rate": st.rate})
+    lines = [f"{'name':<10s} {'Inexact events':>15s} {'events/sec':>14s}"]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<10s} {row['count']:>15,d} {row['rate']:>14,.0f}"
+        )
+    return FigureResult(
+        ident="fig15",
+        title="Inexact event count and rate for each application",
+        text="\n".join(lines) + "\n",
+        data={"rows": rows},
+    )
+
+
+# ---------------------------------------------------------------- Figure 16
+
+
+def fig16_cumulative(study: Study, window_fraction: float = 1.0) -> FigureResult:
+    """Cumulative Inexact events over execution, per application."""
+    apps = [n for n in TARGET_NAMES if n not in ("PARSEC 3.0", "NAS 3.0")]
+    series = {}
+    for name in apps:
+        records = list(study.sampled[name].traces.all_records())
+        t, c = cumulative_series(records, event="Inexact")
+        if window_fraction < 1.0 and t.size:
+            cut = t[0] + window_fraction * (t[-1] - t[0])
+            keep = t <= cut
+            t, c = t[keep], c[keep]
+        series[name] = (t, c)
+    lines = [f"{'name':<10s} {'events':>9s} {'first(ms)':>10s} {'last(ms)':>10s}"]
+    for name, (t, c) in series.items():
+        if t.size:
+            lines.append(
+                f"{name:<10s} {int(c[-1]):>9d} {t[0]*1e3:>10.4f} {t[-1]*1e3:>10.4f}"
+            )
+        else:
+            lines.append(f"{name:<10s} {0:>9d} {'-':>10s} {'-':>10s}")
+    return FigureResult(
+        ident="fig16",
+        title="Cumulative Inexact events over execution",
+        text="\n".join(lines) + "\n",
+        data={
+            "series": {
+                k: {"t": v[0].tolist(), "count": v[1].tolist()}
+                for k, v in series.items()
+            }
+        },
+    )
+
+
+# ------------------------------------------------------------ Figures 17-19
+
+
+def _per_code_records(study: Study) -> dict[str, list]:
+    """Per-code individual records: apps as-is, suites per-benchmark.
+
+    Uses the union of the filtered and sampled passes, as the analysis
+    of section 6 draws on all collected trace data.
+    """
+    out: dict[str, list] = {}
+    for pass_result in (study.sampled, study.filtered):
+        for target, result in pass_result.items():
+            groups = result.traces.records_by_app()
+            for app, recs in groups.items():
+                out.setdefault(app, []).extend(recs)
+    return out
+
+
+def fig17_form_rankpop(study: Study) -> FigureResult:
+    """Rank-popularity of rounding instruction forms per code."""
+    per_code = _per_code_records(study)
+    stats = {}
+    for code, recs in per_code.items():
+        rp = form_rankpop(recs, event="Inexact")
+        if len(rp) == 0:
+            continue
+        stats[code] = {
+            "n_forms": len(rp),
+            "rank99": rp.coverage_rank(0.99),
+            "total": rp.total,
+            "top": rp.top(5),
+        }
+    lines = [f"{'code':<26s} {'forms':>6s} {'99% rank':>9s} {'events':>10s}"]
+    for code, s in sorted(stats.items()):
+        lines.append(
+            f"{code:<26s} {s['n_forms']:>6d} {s['rank99']:>9d} {s['total']:>10d}"
+        )
+    return FigureResult(
+        ident="fig17",
+        title="Rank-popularity of rounding instruction form",
+        text="\n".join(lines) + "\n",
+        data={"stats": stats},
+    )
+
+
+def fig18_form_histogram(study: Study) -> FigureResult:
+    """Count of codes showing rounding with each instruction form, and
+    the set of GROMACS-only forms."""
+    per_code = _per_code_records(study)
+    per_code_forms = {
+        code: {decode_form(r.insn).mnemonic for r in recs}
+        for code, recs in per_code.items()
+        if recs
+    }
+    gromacs_only = forms_only_in(per_code_forms, "gromacs")
+    histogram = form_histogram(per_code_forms, exclude=("gromacs",))
+    lines = [f"{'form':<12s} {'codes':>6s}"]
+    for form, n in histogram.most_common():
+        lines.append(f"{form:<12s} {n:>6d}")
+    lines.append("")
+    lines.append(f"GROMACS-only forms ({len(gromacs_only)}):")
+    lines.append("  " + " ".join(sorted(gromacs_only)))
+    return FigureResult(
+        ident="fig18",
+        title="Rank-popularity of instruction forms among codes",
+        text="\n".join(lines) + "\n",
+        data={
+            "histogram": dict(histogram),
+            "gromacs_only": sorted(gromacs_only),
+            "shared_count": len(histogram),
+        },
+    )
+
+
+def fig19_addr_rankpop(study: Study) -> FigureResult:
+    """Rank-popularity of rounding instruction addresses per code."""
+    per_code = _per_code_records(study)
+    stats = {}
+    for code, recs in per_code.items():
+        rp = address_rankpop(recs, event="Inexact")
+        if len(rp) == 0:
+            continue
+        stats[code] = {
+            "n_addresses": len(rp),
+            "rank99": rp.coverage_rank(0.99),
+            "total": rp.total,
+        }
+    lines = [f"{'code':<26s} {'sites':>6s} {'99% rank':>9s} {'events':>10s}"]
+    for code, s in sorted(stats.items()):
+        lines.append(
+            f"{code:<26s} {s['n_addresses']:>6d} {s['rank99']:>9d} {s['total']:>10d}"
+        )
+    max_sites = max((s["n_addresses"] for s in stats.values()), default=0)
+    lines.append(f"\nmax sites across codes: {max_sites}")
+    return FigureResult(
+        ident="fig19",
+        title="Rank-popularity of rounding instruction address",
+        text="\n".join(lines) + "\n",
+        data={"stats": stats, "max_sites": max_sites},
+    )
+
+
+ALL_FIGURES = (
+    "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+)

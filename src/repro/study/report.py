@@ -1,0 +1,48 @@
+"""One-shot study report: every figure, rendered into a single document.
+
+``python -m repro.study report`` runs the full four-pass methodology and
+emits a markdown report mirroring the paper's evaluation section, with
+each table/series under its figure heading.
+"""
+
+from __future__ import annotations
+
+from repro.study import figures as F
+from repro.study.passes import Study, get_study
+
+
+def build_report(scale: float = 1.0, seed: int = 1234,
+                 study: Study | None = None) -> str:
+    """Render the complete study as markdown."""
+    study = study or get_study(scale, seed)
+    sections = [
+        F.fig06_overhead(scale, seed),
+        F.fig07_inventory(study),
+        F.fig08_source_analysis(),
+        F.fig09_aggregate(study),
+        F.fig10_parsec(scale, seed),
+        F.fig11_filtered(study),
+        F.fig12_enzo_nans(study),
+        F.fig13_laghos_bursts(study),
+        F.fig14_sampled(study),
+        F.fig15_inexact_counts(study),
+        F.fig16_cumulative(study),
+        F.fig17_form_rankpop(study),
+        F.fig18_form_histogram(study),
+        F.fig19_addr_rankpop(study),
+    ]
+    out = [
+        "# FPSpy reproduction — study report",
+        "",
+        f"Configuration: scale={scale}, app seed={seed}, "
+        f"sampler seed={__import__('repro.study.passes', fromlist=['STUDY_SEED']).STUDY_SEED}.",
+        "",
+    ]
+    for result in sections:
+        out.append(f"## {result.ident}: {result.title}")
+        out.append("")
+        out.append("```")
+        out.append(result.text.rstrip("\n"))
+        out.append("```")
+        out.append("")
+    return "\n".join(out) + "\n"

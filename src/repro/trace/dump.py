@@ -1,0 +1,57 @@
+"""Human-readable trace rendering.
+
+The paper: "Individual-mode trace records are in a binary form suitable
+for being mmap()ed into analysis programs for speed.  Scripts are
+provided to turn them into human readable forms, and for analysis."
+These are those scripts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.trace.records import IndividualRecord, unpack_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.vfs import VFS
+
+_HEADER = (
+    f"{'seq':>8s} {'time(us)':>12s} {'rip':>10s} {'insn':<11s} "
+    f"{'events':<28s} {'si':>3s} {'mxcsr':>6s}"
+)
+
+
+def format_record(rec: IndividualRecord) -> str:
+    try:
+        mnemonic = rec.mnemonic
+    except ValueError:
+        mnemonic = rec.insn.hex()
+    return (
+        f"{rec.seq:>8d} {rec.time * 1e6:>12.3f} 0x{rec.rip:08x} "
+        f"{mnemonic:<11s} {','.join(rec.events) or '-':<28s} "
+        f"{rec.sicode:>3d} 0x{rec.mxcsr:04x}"
+    )
+
+
+def dump_individual(data: bytes, limit: int | None = None) -> str:
+    """Render a binary individual-mode trace file as text."""
+    records = unpack_records(data)
+    lines = [_HEADER]
+    for rec in records[: limit if limit is not None else len(records)]:
+        lines.append(format_record(rec))
+    if limit is not None and len(records) > limit:
+        lines.append(f"... ({len(records) - limit} more records)")
+    return "\n".join(lines) + "\n"
+
+
+def dump_vfs(vfs: "VFS", prefix: str = "trace/", limit_per_file: int = 20) -> str:
+    """Render every trace file in a VFS (aggregate files verbatim)."""
+    out = []
+    for path in vfs.listdir(prefix):
+        data = vfs.read(path)
+        out.append(f"==== {path} ({len(data)} bytes) ====")
+        if path.endswith(".ind"):
+            out.append(dump_individual(data, limit=limit_per_file))
+        else:
+            out.append(data.decode(errors="replace"))
+    return "\n".join(out)

@@ -1,0 +1,168 @@
+"""Trace record encodings.
+
+Individual-mode binary record layout (64 bytes, little-endian):
+
+======  =====  =========================================================
+offset  type   field
+======  =====  =========================================================
+0       u64    sequence number (per-thread, monotonically increasing)
+8       f64    timestamp (simulated seconds since boot)
+16      u64    rip: faulting instruction address
+24      u64    rsp: stack pointer at the fault
+32      u32    mxcsr value captured at the fault (status + masks + rc)
+36      u32    siginfo si_code (which condition was delivered)
+40      u32    condition codes set by the instruction (the *event* bits)
+44      u32    instruction byte count
+48      16B    raw instruction bytes (zero padded)
+======  =====  =========================================================
+
+Records carry everything the paper's section 3.6 lists: timestamp,
+instruction pointer, instruction data, stack pointer, FP control/status,
+and ``%mxcsr``.  Each record is self-contained, so appends never need
+ordering -- the property section 3.7 relies on for scalability.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.flags import Flag, flags_to_events
+
+_STRUCT = struct.Struct("<QdQQIIII16s")
+RECORD_SIZE = _STRUCT.size
+assert RECORD_SIZE == 64
+
+#: NumPy structured dtype matching the packed layout (for mmap-style reads).
+RECORD_DTYPE = np.dtype(
+    [
+        ("seq", "<u8"),
+        ("time", "<f8"),
+        ("rip", "<u8"),
+        ("rsp", "<u8"),
+        ("mxcsr", "<u4"),
+        ("sicode", "<u4"),
+        ("codes", "<u4"),
+        ("insn_len", "<u4"),
+        ("insn", "V16"),
+    ]
+)
+assert RECORD_DTYPE.itemsize == RECORD_SIZE
+
+
+@dataclass(frozen=True)
+class IndividualRecord:
+    """One decoded individual-mode trace record."""
+
+    seq: int
+    time: float
+    rip: int
+    rsp: int
+    mxcsr: int
+    sicode: int
+    codes: int  #: raw condition-code bits the faulting instruction raised
+    insn: bytes
+
+    @property
+    def flags(self) -> Flag:
+        return Flag(self.codes & 0x3F)
+
+    @property
+    def events(self) -> list[str]:
+        return flags_to_events(self.flags)
+
+    @property
+    def mnemonic(self) -> str:
+        from repro.isa.instruction import decode_form
+
+        return decode_form(self.insn).mnemonic
+
+
+def pack_record(rec: IndividualRecord) -> bytes:
+    insn = rec.insn[:16]
+    return _STRUCT.pack(
+        rec.seq,
+        rec.time,
+        rec.rip,
+        rec.rsp,
+        rec.mxcsr,
+        rec.sicode,
+        rec.codes,
+        len(insn),
+        insn.ljust(16, b"\x00"),
+    )
+
+
+def unpack_records(data: bytes) -> list[IndividualRecord]:
+    """Decode a whole trace file into record objects."""
+    if len(data) % RECORD_SIZE:
+        raise ValueError(
+            f"trace length {len(data)} is not a multiple of {RECORD_SIZE}"
+        )
+    out = []
+    for offset in range(0, len(data), RECORD_SIZE):
+        seq, t, rip, rsp, mxcsr, sicode, codes, n, raw = _STRUCT.unpack_from(
+            data, offset
+        )
+        out.append(
+            IndividualRecord(
+                seq=seq, time=t, rip=rip, rsp=rsp, mxcsr=mxcsr,
+                sicode=sicode, codes=codes, insn=raw[:n],
+            )
+        )
+    return out
+
+
+def records_to_numpy(data: bytes) -> np.ndarray:
+    """Zero-copy structured-array view of a trace file (the mmap path)."""
+    if len(data) % RECORD_SIZE:
+        raise ValueError(
+            f"trace length {len(data)} is not a multiple of {RECORD_SIZE}"
+        )
+    return np.frombuffer(data, dtype=RECORD_DTYPE)
+
+
+@dataclass(frozen=True)
+class AggregateRecord:
+    """One decoded aggregate-mode record (one text line per thread)."""
+
+    app: str
+    pid: int
+    tid: int
+    status: int  #: final sticky condition-code bits
+    disabled: bool  #: FPSpy stepped aside during this thread's run
+    reason: str = ""
+
+    @property
+    def flags(self) -> Flag:
+        return Flag(self.status & 0x3F)
+
+    @property
+    def events(self) -> list[str]:
+        return flags_to_events(self.flags)
+
+    def to_line(self) -> str:
+        events = ",".join(self.events) or "-"
+        disabled = "yes" if self.disabled else "no"
+        reason = self.reason.replace(" ", "_") or "-"
+        return (
+            f"fpspy-aggregate app={self.app} pid={self.pid} tid={self.tid} "
+            f"status=0x{self.status:02x} events={events} "
+            f"disabled={disabled} reason={reason}\n"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "AggregateRecord":
+        fields = dict(
+            token.split("=", 1) for token in line.split() if "=" in token
+        )
+        return cls(
+            app=fields["app"],
+            pid=int(fields["pid"]),
+            tid=int(fields["tid"]),
+            status=int(fields["status"], 16),
+            disabled=fields["disabled"] == "yes",
+            reason="" if fields["reason"] == "-" else fields["reason"],
+        )

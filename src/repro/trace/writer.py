@@ -1,0 +1,36 @@
+"""Trace writers: append-only sinks bound to the simulated VFS."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.trace.records import AggregateRecord, IndividualRecord, pack_record
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.vfs import VFS
+
+
+def trace_path(app: str, pid: int, tid: int, mode: str, prefix: str = "trace/") -> str:
+    """Per-thread trace file path: ``<prefix><app>.<pid>.<tid>.<mode>``."""
+    suffix = {"aggregate": "agg", "individual": "ind"}[mode]
+    return f"{prefix}{app}.{pid}.{tid}.{suffix}"
+
+
+class TraceWriter:
+    """One thread's trace sink (each thread gets its own file, 3.7)."""
+
+    def __init__(self, vfs: "VFS", path: str) -> None:
+        self.path = path
+        self._file = vfs.open(path)
+        self.records_written = 0
+
+    def append_individual(self, rec: IndividualRecord) -> None:
+        self._file.append(pack_record(rec))
+        self.records_written += 1
+
+    def append_aggregate(self, rec: AggregateRecord) -> None:
+        self._file.append(rec.to_line().encode())
+        self.records_written += 1
+
+    def append_text(self, line: str) -> None:
+        self._file.append(line.encode())

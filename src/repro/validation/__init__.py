@@ -1,0 +1,33 @@
+"""FPSpy validation suite (paper section 5, "Validation").
+
+    "To validate FPSpy before using it in our methodology, we built a
+    range of test programs that produce all of the events FPSpy can
+    detect, within different execution models (single process/thread,
+    single process/multiple thread, multiple processes, multiple
+    processes each with multiple threads, and confounding all with
+    signals).  FPSpy passed these tests, producing outputs that
+    correspond to what was constructed."
+
+This package is that test-program generator plus the checker: given an
+execution model and an FPSpy mode, it constructs programs with *known*
+per-thread event sets, runs them under FPSpy, and verifies the traces
+reproduce exactly what was constructed.
+"""
+
+from repro.validation.programs import (
+    EXECUTION_MODELS,
+    EventRecipe,
+    ValidationOutcome,
+    build_program,
+    run_validation,
+    validate_all,
+)
+
+__all__ = [
+    "EXECUTION_MODELS",
+    "EventRecipe",
+    "ValidationOutcome",
+    "build_program",
+    "run_validation",
+    "validate_all",
+]

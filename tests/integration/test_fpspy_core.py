@@ -1,0 +1,408 @@
+"""Integration tests: FPSpy observing guest programs.
+
+These mirror the paper's validation methodology (section 5): constructed
+test programs that produce known events under different execution models
+(single thread, multiple threads, multiple processes, with signals), run
+under FPSpy, verifying the traces match what was constructed.
+"""
+
+import pytest
+
+from repro.fp.flags import Flag
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import Signal
+from repro.loader.fenv import FE_DFL_ENV
+from repro.trace.reader import TraceSet
+
+
+def run_traced(main, env, name="app"):
+    k = Kernel()
+    proc = k.exec_process(main, env=env, name=name)
+    k.run()
+    return k, proc, TraceSet.from_vfs(k.vfs)
+
+
+def make_event_program(layout=None):
+    """A program producing exactly ZE, IE, and PE events."""
+    layout = layout or CodeLayout()
+    div = layout.site("divsd")
+    sqrt = layout.site("sqrtsd")
+    mul = layout.site("mulsd")
+
+    def main():
+        yield FPInstruction(div, ((b64(1.0), b64(0.0)),))  # DivideByZero
+        yield FPInstruction(sqrt, ((b64(-1.0),),))  # Invalid
+        yield FPInstruction(mul, ((b64(0.1), b64(0.1)),))  # Inexact
+        yield IntWork(10)
+
+    return main
+
+
+class TestAggregateMode:
+    def test_captures_event_set(self):
+        k, proc, traces = run_traced(
+            make_event_program(), fpspy_env("aggregate"), name="evtest"
+        )
+        assert proc.exit_code == 0
+        assert len(traces.aggregate) == 1
+        rec = traces.aggregate[0]
+        assert rec.app == "evtest"
+        assert set(rec.events) == {"DivideByZero", "Invalid", "Inexact"}
+        assert not rec.disabled
+
+    def test_clean_program_shows_no_events(self):
+        layout = CodeLayout()
+        add = layout.site("addsd")
+
+        def main():
+            yield FPInstruction(add, ((b64(1.0), b64(2.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("aggregate"))
+        assert traces.aggregate[0].events == []
+
+    def test_no_fpspy_without_preload(self):
+        k, proc, traces = run_traced(make_event_program(), {})
+        assert traces.aggregate == []
+        assert traces.individual == {}
+
+    def test_one_record_per_thread(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        add = layout.site("addsd")
+
+        def worker():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        def main():
+            yield LibcCall("pthread_create", (worker,))
+            yield FPInstruction(add, ((b64(1.0), b64(2.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("aggregate"))
+        assert len(traces.aggregate) == 2
+        by_tid = {r.tid: r for r in traces.aggregate}
+        assert "DivideByZero" in by_tid[2].events
+        assert by_tid[1].events == []  # main thread: exact adds only
+
+    def test_fork_produces_independent_traces(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def child():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        def main():
+            yield LibcCall("fork", (child, "childapp"))
+            yield IntWork(5)
+
+        k, proc, traces = run_traced(main, fpspy_env("aggregate"))
+        assert len(traces.aggregate) == 2
+        pids = {r.pid for r in traces.aggregate}
+        assert len(pids) == 2  # separate processes, separate traces
+
+    def test_application_output_unperturbed(self):
+        """FPSpy must not change computed results (only timing)."""
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        got = {}
+
+        def main():
+            res = yield FPInstruction(div, ((b64(1.0), b64(3.0)),))
+            got["plain"] = res
+
+        run_traced(main, {})
+        plain = got["plain"]
+        run_traced(main, fpspy_env("aggregate"))
+        assert got["plain"] == plain
+
+
+class TestIndividualMode:
+    def test_records_every_faulting_instruction(self):
+        k, proc, traces = run_traced(
+            make_event_program(), fpspy_env("individual"), name="evtest"
+        )
+        assert proc.exit_code == 0
+        recs = list(traces.all_records())
+        assert len(recs) == 3
+        assert [r.events[0] for r in recs] == ["DivideByZero", "Invalid", "Inexact"]
+
+    def test_records_carry_context(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        (rec,) = list(traces.all_records())
+        assert rec.rip == div.address
+        assert rec.mnemonic == "divsd"
+        assert rec.rsp != 0
+        assert Flag.ZE in rec.flags
+        assert rec.seq == 0
+
+    def test_sequence_numbers_increase(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            for _ in range(5):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        recs = list(traces.all_records())
+        assert [r.seq for r in recs] == list(range(5))
+        times = [r.time for r in recs]
+        assert times == sorted(times)
+
+    def test_program_results_identical_under_tracing(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        got = {}
+
+        def main():
+            got["res"] = yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        run_traced(main, {})
+        baseline = got["res"]
+        run_traced(main, fpspy_env("individual"))
+        assert got["res"] == baseline  # inf, bitwise identical
+
+    def test_filtering_excludes_inexact(self):
+        env = fpspy_env(
+            "individual",
+            except_list="DivideByZero,Invalid,Denorm,Underflow,Overflow",
+        )
+        k, proc, traces = run_traced(make_event_program(), env)
+        recs = list(traces.all_records())
+        assert len(recs) == 2  # the mulsd rounding event is filtered out
+        assert all("Inexact" not in r.events or r.events != ["Inexact"] for r in recs)
+
+    def test_filtered_events_incur_no_event_cost(self):
+        layout = CodeLayout()
+        mul = layout.site("mulsd")
+
+        def main():
+            for _ in range(50):
+                yield FPInstruction(mul, ((b64(0.1), b64(0.1)),))
+
+        env = fpspy_env("individual", except_list="DivideByZero")
+        k1, p1, _ = run_traced(main, env)
+        k2, p2, _ = run_traced(main, {})
+        # Rounding is masked: no faults, so system time stays tiny.
+        assert p1.main_task.stime_cycles == p2.main_task.stime_cycles == 0
+
+    def test_maxcount_disables_after_cap(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            for _ in range(20):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        env = fpspy_env("individual", maxcount=5)
+        k, proc, traces = run_traced(main, env)
+        assert traces.count() == 5
+        assert proc.exit_code == 0
+
+    def test_subsampling_records_every_kth(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            for _ in range(20):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        env = fpspy_env("individual", sample=4)
+        k, proc, traces = run_traced(main, env)
+        assert traces.count() == 5  # 20 / 4
+
+    def test_multithreaded_independent_traces(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        sqrt = layout.site("sqrtsd")
+
+        def worker_div():
+            for _ in range(3):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        def worker_sqrt():
+            for _ in range(2):
+                yield FPInstruction(sqrt, ((b64(-1.0),),))
+
+        def main():
+            yield LibcCall("pthread_create", (worker_div,))
+            yield LibcCall("pthread_create", (worker_sqrt,))
+            yield IntWork(100)
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        assert len(traces.individual) == 3  # main + 2 workers
+        sizes = sorted(len(v) for v in traces.individual.values())
+        assert sizes == [0, 2, 3]
+
+
+class TestGetOutOfTheWay:
+    def test_fenv_use_disables_aggregate(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield LibcCall("fesetenv", (FE_DFL_ENV,))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("aggregate"))
+        rec = traces.aggregate[0]
+        assert rec.disabled
+        assert rec.events == []  # the WRF anomaly of Figure 9
+        assert "fesetenv" in rec.reason
+
+    def test_fenv_use_disables_individual_but_keeps_prior_records(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield LibcCall("fesetenv", (FE_DFL_ENV,))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))  # untraced
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        assert proc.exit_code == 0
+        recs = list(traces.all_records())
+        assert len(recs) == 1  # only the pre-fesetenv event (Figure 14 WRF)
+
+    def test_app_semantics_preserved_after_step_aside(self):
+        """After stepping aside the app controls the FP env unperturbed."""
+        from repro.loader.fenv import FE_DIVBYZERO
+
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        observed = {}
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield LibcCall("feclearexcept")
+            observed["status"] = yield LibcCall("fetestexcept")
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            observed["after"] = yield LibcCall("fetestexcept")
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        assert proc.exit_code == 0
+        assert observed["status"] == 0
+        assert observed["after"] & FE_DIVBYZERO
+
+    def test_app_hooking_sigfpe_disables_nonaggressive(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def app_handler(signo, info, uctx):  # pragma: no cover
+            pass
+
+        def main():
+            yield LibcCall("signal", (int(Signal.SIGFPE), app_handler))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        assert proc.exit_code == 0
+        assert list(traces.all_records()) == []  # stepped aside before event
+
+    def test_aggressive_mode_keeps_monitoring_despite_signal_use(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def app_handler(signo, info, uctx):  # pragma: no cover
+            pass
+
+        def main():
+            yield LibcCall("signal", (int(Signal.SIGFPE), app_handler))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        env = fpspy_env("individual", aggressive=True)
+        k, proc, traces = run_traced(main, env)
+        assert proc.exit_code == 0
+        recs = list(traces.all_records())
+        assert len(recs) == 1  # still captured
+
+    def test_signal_hooking_is_fine_in_aggregate_mode(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def app_handler(signo, info, uctx):  # pragma: no cover
+            pass
+
+        def main():
+            yield LibcCall("signal", (int(Signal.SIGFPE), app_handler))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("aggregate"))
+        rec = traces.aggregate[0]
+        assert not rec.disabled
+        assert "DivideByZero" in rec.events
+
+    def test_unrelated_signals_never_disturb_fpspy(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        hits = []
+
+        def usr1_handler(signo, info, uctx):
+            hits.append(signo)
+
+        def main():
+            yield LibcCall("signal", (int(Signal.SIGUSR1), usr1_handler))
+            yield LibcCall("raise", (int(Signal.SIGUSR1),))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc, traces = run_traced(main, fpspy_env("individual"))
+        assert hits == [Signal.SIGUSR1]
+        assert traces.count() == 1
+
+
+class TestPoissonSampling:
+    def _rounding_program(self, n=3000):
+        layout = CodeLayout()
+        mul = layout.site("mulsd")
+
+        def main():
+            for _ in range(n):
+                yield FPInstruction(mul, ((b64(0.1), b64(0.1)),))
+
+        return main
+
+    def test_sampler_captures_a_fraction(self):
+        env = fpspy_env("individual", poisson="50:950", timer="virtual", seed=7)
+        k, proc, traces = run_traced(self._rounding_program(), env)
+        n = traces.count()
+        # ~5% coverage of 3000 events, with generous slack for randomness.
+        assert 10 <= n <= 600
+
+    def test_sampler_coverage_scales_with_on_fraction(self):
+        env_lo = fpspy_env("individual", poisson="50:950", timer="virtual", seed=3)
+        env_hi = fpspy_env("individual", poisson="500:500", timer="virtual", seed=3)
+        _, _, t_lo = run_traced(self._rounding_program(), env_lo)
+        _, _, t_hi = run_traced(self._rounding_program(), env_hi)
+        assert t_hi.count() > t_lo.count() * 2
+
+    def test_sampler_is_deterministic_given_seed(self):
+        env = fpspy_env("individual", poisson="100:900", timer="virtual", seed=11)
+        _, _, t1 = run_traced(self._rounding_program(), env)
+        _, _, t2 = run_traced(self._rounding_program(), env)
+        assert t1.count() == t2.count()
+
+    def test_real_timer_sampler_works(self):
+        # Real-timer periods are in microseconds of wall clock; pad the
+        # program with integer work so it spans several on/off cycles.
+        layout = CodeLayout()
+        mul = layout.site("mulsd")
+
+        def main():
+            for _ in range(3000):
+                yield FPInstruction(mul, ((b64(0.1), b64(0.1)),))
+                yield IntWork(2000)
+
+        env = fpspy_env("individual", poisson="100:900", timer="real", seed=5)
+        k, proc, traces = run_traced(main, env)
+        assert proc.exit_code == 0
+        assert 0 < traces.count() < 3000

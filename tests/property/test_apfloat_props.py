@@ -1,0 +1,110 @@
+"""Property tests: APFloat must be correctly rounded at every precision."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.mpe.apfloat import APFloat, extended_format
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+nonzero = finite.filter(lambda x: x != 0.0)
+precisions = st.sampled_from([24, 53, 64, 113, 128, 192])
+
+
+@given(finite, precisions)
+def test_widening_is_exact(a, p):
+    """Every double is exactly representable at precision >= 53."""
+    assume(p >= 53)
+    x = APFloat.from_float(a, precision=p)
+    assert x.to_float() == a
+    assert x.to_fraction() == Fraction(a)
+
+
+@given(finite, finite)
+def test_p53_add_matches_host(a, b):
+    x = APFloat.from_float(a, precision=53)
+    y = APFloat.from_float(b, precision=53)
+    s = (x + y).to_float()
+    host = a + b
+    if host != host:  # NaN
+        assert s != s
+    else:
+        assert s == host or (abs(host) == float("inf"))
+
+
+@given(finite, finite, precisions)
+def test_high_precision_at_least_as_accurate(a, b, p):
+    """|extended - exact| <= |double - exact| for addition."""
+    assume(p >= 53)
+    exact = Fraction(a) + Fraction(b)
+    wide = (APFloat.from_float(a, p) + APFloat.from_float(b, p))
+    try:
+        wide_val = wide.to_fraction()
+    except ValueError:
+        return  # inf at extended range: |a+b| astronomically large
+    host = a + b
+    if host != host or abs(host) == float("inf"):
+        return
+    assert abs(wide_val - exact) <= abs(Fraction(host) - exact)
+
+
+@given(nonzero, nonzero)
+def test_mul_exact_at_double_width_precision(a, b):
+    """p=106 multiplication of doubles is exact (53+53 mantissa bits)."""
+    x = APFloat.from_float(a, precision=110)
+    y = APFloat.from_float(b, precision=110)
+    prod = x * y
+    try:
+        got = prod.to_fraction()
+    except ValueError:
+        return
+    assert got == Fraction(a) * Fraction(b)
+
+
+@given(finite)
+def test_roundtrip_through_extended(a):
+    """double -> extended -> double is the identity."""
+    x = APFloat.from_float(a, precision=128)
+    assert x.to_float() == a
+
+
+@given(nonzero)
+def test_sqrt_squared_error_small(a):
+    assume(a > 0)
+    x = APFloat.from_float(a, precision=128)
+    r = x.sqrt()
+    sq = r * r
+    try:
+        err = abs(sq.to_fraction() - Fraction(a))
+    except ValueError:
+        return
+    assert err <= Fraction(a) * Fraction(1, 2**120)
+
+
+@given(finite, precisions)
+def test_negation_is_exact_involution(a, p):
+    x = APFloat.from_float(a, precision=p)
+    assert (-(-x)).bits == x.bits
+
+
+@given(st.fractions(), precisions)
+def test_from_fraction_brackets(f, p):
+    """from_fraction is within one ulp of the exact rational."""
+    assume(abs(f) < Fraction(10) ** 300)
+    x = APFloat.from_fraction(f, precision=p)
+    try:
+        got = x.to_fraction()
+    except ValueError:
+        return
+    if f == 0:
+        assert got == 0
+        return
+    # relative error bounded by 2^-(p-1)
+    assert abs(got - f) <= abs(f) * Fraction(1, 2 ** (p - 1))
+
+
+def test_extended_format_ranges():
+    fmt = extended_format(128)
+    assert fmt.p == 128
+    assert fmt.emax > 100_000  # practically unbounded vs binary64

@@ -1,0 +1,100 @@
+"""FastSoftFPU must be indistinguishable from the canonical SoftFPU."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.fastpath import FastSoftFPU
+from repro.fp.formats import BINARY64
+from repro.fp.rounding import RoundingMode
+from repro.fp.softfloat import FPContext, SoftFPU
+
+FAST = FastSoftFPU()
+SLOW = SoftFPU()
+
+bits64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+finite_bits = st.floats(allow_nan=False, allow_infinity=False, width=64).map(
+    lambda x: __import__("repro.fp.formats", fromlist=["float_to_bits64"]).float_to_bits64(x)
+)
+contexts = st.builds(
+    FPContext,
+    rmode=st.sampled_from(list(RoundingMode)),
+    ftz=st.booleans(),
+    daz=st.booleans(),
+)
+
+
+def _same(a, b):
+    assert a.bits == b.bits
+    assert a.flags == b.flags
+    assert a.tiny == b.tiny
+
+
+@given(bits64, bits64, contexts)
+def test_add_equivalent(a, b, ctx):
+    _same(FAST.add(BINARY64, a, b, ctx), SLOW.add(BINARY64, a, b, ctx))
+
+
+@given(bits64, bits64, contexts)
+def test_sub_equivalent(a, b, ctx):
+    _same(FAST.sub(BINARY64, a, b, ctx), SLOW.sub(BINARY64, a, b, ctx))
+
+
+@given(bits64, bits64, contexts)
+def test_mul_equivalent(a, b, ctx):
+    _same(FAST.mul(BINARY64, a, b, ctx), SLOW.mul(BINARY64, a, b, ctx))
+
+
+@given(bits64, bits64, contexts)
+def test_div_equivalent(a, b, ctx):
+    _same(FAST.div(BINARY64, a, b, ctx), SLOW.div(BINARY64, a, b, ctx))
+
+
+@given(bits64, contexts)
+def test_sqrt_equivalent(a, ctx):
+    _same(FAST.sqrt(BINARY64, a, ctx), SLOW.sqrt(BINARY64, a, ctx))
+
+
+# Mid-range values: the strata the fast path actually accelerates.
+midrange = st.floats(
+    min_value=1e-100, max_value=1e100, allow_nan=False, allow_infinity=False
+).map(lambda x: __import__("repro.fp.formats", fromlist=["float_to_bits64"]).float_to_bits64(x))
+
+
+@settings(max_examples=300)
+@given(midrange, midrange)
+def test_midrange_add_equivalent(a, b):
+    _same(FAST.add(BINARY64, a, b), SLOW.add(BINARY64, a, b))
+
+
+@settings(max_examples=300)
+@given(midrange, midrange)
+def test_midrange_mul_equivalent(a, b):
+    _same(FAST.mul(BINARY64, a, b), SLOW.mul(BINARY64, a, b))
+
+
+@settings(max_examples=300)
+@given(midrange, midrange)
+def test_midrange_div_equivalent(a, b):
+    _same(FAST.div(BINARY64, a, b), SLOW.div(BINARY64, a, b))
+
+
+@settings(max_examples=300)
+@given(midrange)
+def test_midrange_sqrt_equivalent(a):
+    _same(FAST.sqrt(BINARY64, a), SLOW.sqrt(BINARY64, a))
+
+
+def test_exactness_detection_spot_checks():
+    from repro.fp.flags import Flag
+    from repro.fp.formats import float_to_bits64 as b
+
+    # Exact cases: no PE.
+    assert FAST.add(BINARY64, b(1.5), b(2.25)).flags == Flag.NONE
+    assert FAST.mul(BINARY64, b(3.0), b(4.0)).flags == Flag.NONE
+    assert FAST.div(BINARY64, b(6.0), b(2.0)).flags == Flag.NONE
+    assert FAST.sqrt(BINARY64, b(9.0)).flags == Flag.NONE
+    # Inexact cases: PE.
+    assert Flag.PE in FAST.add(BINARY64, b(0.1), b(0.2)).flags
+    assert Flag.PE in FAST.mul(BINARY64, b(0.1), b(0.1)).flags
+    assert Flag.PE in FAST.div(BINARY64, b(1.0), b(3.0)).flags
+    assert Flag.PE in FAST.sqrt(BINARY64, b(2.0)).flags

@@ -1,0 +1,130 @@
+"""Property tests for FPSpy itself, over randomly generated programs.
+
+Two invariants the whole paper rests on:
+
+1. **Completeness**: in individual mode with no filtering/sampling,
+   FPSpy records exactly one record per event-raising instruction, in
+   program order.
+2. **Non-perturbation**: the guest's computed results are bit-identical
+   with and without FPSpy, in every mode (requirement list, section 2:
+   "FPSpy must not perturb the application in any way other than
+   timing").
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.flags import Flag
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import fpspy_env
+from repro.guest.ops import IntWork
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.trace.reader import TraceSet
+
+# Operand pools chosen so every op's event set is predictable and varied.
+_OPERANDS = st.sampled_from(
+    [1.0, 2.0, 0.5, 3.0, 0.1, 0.2, 1e-200, 1e200, 0.0, -1.0, 7.0, 1e-320]
+)
+_MNEMONICS = st.sampled_from(["addsd", "subsd", "mulsd", "divsd", "sqrtsd",
+                              "minsd", "maxsd"])
+
+
+@st.composite
+def programs(draw):
+    """A random straight-line FP program over a small site pool."""
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    layout = CodeLayout()
+    mnemonics = [draw(_MNEMONICS) for _ in range(n_sites)]
+    sites = [layout.site(m) for m in mnemonics]
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        site = sites[draw(st.integers(min_value=0, max_value=n_sites - 1))]
+        lane = tuple(
+            b64(draw(_OPERANDS)) for _ in range(site.form.arity)
+        )
+        ops.append((site, lane))
+    return ops
+
+
+def _run(ops, env):
+    results = []
+
+    def main():
+        for site, lane in ops:
+            res = yield FPInstruction(site, (lane,))
+            results.append(res)
+            yield IntWork(5)
+
+    k = Kernel()
+    proc = k.exec_process(main, env=env, name="prop")
+    k.run()
+    assert proc.exit_code == 0
+    return results, TraceSet.from_vfs(k.vfs)
+
+
+def _expected_events(ops):
+    """Ground truth via direct semantic evaluation."""
+    from repro.fp.softfloat import DEFAULT_CONTEXT
+    from repro.isa.semantics import execute_form
+
+    out = []
+    for site, lane in ops:
+        outcome = execute_form(site.form, (lane,), DEFAULT_CONTEXT)
+        out.append(outcome.flags)
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_individual_mode_records_every_event_in_order(ops):
+    expected = _expected_events(ops)
+    _, traces = _run(ops, fpspy_env("individual"))
+    recs = sorted(traces.all_records(), key=lambda r: r.seq)
+    expected_eventful = [
+        (site.address, flags)
+        for (site, _lane), flags in zip(ops, expected)
+        if flags != Flag.NONE
+    ]
+    assert len(recs) == len(expected_eventful)
+    for rec, (addr, flags) in zip(recs, expected_eventful):
+        assert rec.rip == addr
+        assert rec.flags == flags
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_aggregate_mode_reports_event_union(ops):
+    expected = Flag.NONE
+    for flags in _expected_events(ops):
+        expected |= flags
+    _, traces = _run(ops, fpspy_env("aggregate"))
+    got = Flag.NONE
+    for rec in traces.aggregate:
+        got |= rec.flags
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.sampled_from(["aggregate", "individual"]))
+def test_results_never_perturbed(ops, mode):
+    plain, _ = _run(ops, {})
+    spied, _ = _run(ops, fpspy_env(mode))
+    assert plain == spied
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(min_value=1, max_value=5))
+def test_subsampling_records_exact_fraction(ops, k):
+    expected = [f for f in _expected_events(ops) if f != Flag.NONE]
+    _, traces = _run(ops, fpspy_env("individual", sample=k))
+    assert traces.count() == len(expected) // k
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(min_value=1, max_value=8))
+def test_maxcount_caps_and_program_completes(ops, cap):
+    eventful = sum(1 for f in _expected_events(ops) if f != Flag.NONE)
+    results, traces = _run(ops, fpspy_env("individual", maxcount=cap))
+    assert traces.count() == min(cap, eventful)
+    assert len(results) == len(ops)  # program always ran to completion

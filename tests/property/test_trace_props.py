@@ -1,0 +1,84 @@
+"""Property tests: trace encodings must round-trip for all field values."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.forms import FORMS
+from repro.isa.instruction import decode_form, encode_form
+from repro.trace.records import (
+    AggregateRecord,
+    IndividualRecord,
+    pack_record,
+    records_to_numpy,
+    unpack_records,
+)
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+forms = st.sampled_from(sorted(FORMS))
+times = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def records(draw):
+    mnemonic = draw(forms)
+    rip = draw(u64)
+    return IndividualRecord(
+        seq=draw(u64),
+        time=draw(times),
+        rip=rip,
+        rsp=draw(u64),
+        mxcsr=draw(u32) & 0xFFFF,
+        sicode=draw(st.integers(min_value=0, max_value=255)),
+        codes=draw(st.integers(min_value=0, max_value=63)),
+        insn=encode_form(FORMS[mnemonic], rip),
+    )
+
+
+@given(records())
+def test_individual_record_roundtrip(rec):
+    (back,) = unpack_records(pack_record(rec))
+    assert back == rec
+    assert back.mnemonic == rec.mnemonic
+
+
+@given(st.lists(records(), max_size=20))
+def test_record_stream_roundtrip(recs):
+    data = b"".join(pack_record(r) for r in recs)
+    assert unpack_records(data) == recs
+    arr = records_to_numpy(data)
+    assert list(arr["seq"]) == [r.seq for r in recs]
+    assert list(arr["codes"]) == [r.codes for r in recs]
+
+
+@given(records())
+def test_numpy_view_matches_object_decode(rec):
+    arr = records_to_numpy(pack_record(rec))
+    assert int(arr["rip"][0]) == rec.rip
+    assert int(arr["rsp"][0]) == rec.rsp
+    assert float(arr["time"][0]) == rec.time
+    assert bytes(arr["insn"][0]).rstrip(b"\x00")[: int(arr["insn_len"][0])]
+
+
+@given(forms, u64)
+def test_form_encoding_roundtrip(mnemonic, address):
+    f = FORMS[mnemonic]
+    assert decode_form(encode_form(f, address)) is f
+
+
+@given(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=1 << 31),
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=0, max_value=63),
+    st.booleans(),
+)
+def test_aggregate_record_roundtrip(app, pid, tid, status, disabled):
+    rec = AggregateRecord(
+        app=app, pid=pid, tid=tid, status=status, disabled=disabled,
+        reason="some reason here" if disabled else "",
+    )
+    back = AggregateRecord.from_line(rec.to_line())
+    assert (back.app, back.pid, back.tid, back.status, back.disabled) == (
+        app, pid, tid, status, disabled,
+    )

@@ -1,0 +1,169 @@
+"""Unit tests for the analysis layer (events, timeline, rank-popularity)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.events import EventTable, inexact_stats
+from repro.analysis.rankpop import (
+    RankPopularity,
+    address_rankpop,
+    form_histogram,
+    form_rankpop,
+    forms_only_in,
+)
+from repro.analysis.timeline import burstiness, cumulative_series, rate_series
+from repro.fp.flags import Flag
+from repro.isa.forms import form
+from repro.isa.instruction import encode_form
+from repro.trace.records import IndividualRecord
+
+
+def rec(time=0.0, rip=0x400000, mnemonic="mulsd", codes=int(Flag.PE)):
+    return IndividualRecord(
+        seq=0, time=time, rip=rip, rsp=0, mxcsr=0, sicode=0,
+        codes=codes, insn=encode_form(form(mnemonic), rip),
+    )
+
+
+class TestEventTable:
+    def test_render_contains_T_and_f(self):
+        t = EventTable()
+        t.add("app", {"Inexact", "Invalid"})
+        text = t.render("title")
+        assert "title" in text and "T" in text and "f" in text
+        assert t.cell("app", "Inexact") and not t.cell("app", "Overflow")
+
+    def test_as_dict(self):
+        t = EventTable()
+        t.add("a", {"Denorm"})
+        d = t.as_dict()
+        assert d["a"]["Denorm"] is True
+        assert d["a"]["Inexact"] is False
+
+    def test_inexact_stats(self):
+        from repro.kernel.vfs import VFS
+        from repro.trace.reader import TraceSet
+        from repro.trace.writer import TraceWriter
+
+        vfs = VFS()
+        w = TraceWriter(vfs, "trace/a.1.1.ind")
+        for i in range(4):
+            w.append_individual(rec(time=i * 0.1))
+        w.append_individual(rec(time=0.5, codes=int(Flag.ZE)))  # not inexact
+        ts = TraceSet.from_vfs(vfs)
+        st = inexact_stats("a", ts, wall_seconds=2.0)
+        assert st.count == 4
+        assert st.rate == 2.0
+
+
+class TestTimeline:
+    def test_rate_series_bins(self):
+        records = [rec(time=t) for t in np.linspace(0, 1, 101)]
+        centers, rates = rate_series(records, bins=10)
+        assert len(centers) == 10
+        assert rates.sum() * 0.1 == pytest.approx(101, rel=0.05)
+
+    def test_rate_series_event_filter(self):
+        records = [rec(time=0.1), rec(time=0.2, codes=int(Flag.IE))]
+        _, rates = rate_series(records, event="Invalid", bins=4)
+        assert rates.sum() > 0
+        _, rates_ue = rate_series(records, event="Underflow", bins=4)
+        assert rates_ue.size == 0
+
+    def test_rate_series_zoom(self):
+        records = [rec(time=t) for t in (0.1, 0.2, 5.0)]
+        centers, rates = rate_series(records, bins=5, t_start=0.0, t_end=1.0)
+        assert centers[-1] <= 1.0
+
+    def test_cumulative_series_monotone(self):
+        records = [rec(time=t) for t in (0.3, 0.1, 0.2)]
+        t, c = cumulative_series(records)
+        assert list(t) == [0.1, 0.2, 0.3]
+        assert list(c) == [1, 2, 3]
+
+    def test_cumulative_until_window(self):
+        records = [rec(time=t) for t in (0.0, 0.1, 10.0)]
+        t, c = cumulative_series(records, until=1.0)
+        assert len(t) == 2
+
+    def test_burstiness_uniform_vs_bursty(self):
+        uniform = [rec(time=t) for t in np.linspace(0, 1, 50)]
+        bursty = [rec(time=t) for t in [*np.linspace(0, 0.01, 25),
+                                        *np.linspace(5, 5.01, 25)]]
+        assert burstiness(uniform) < 5
+        assert burstiness(bursty) > 100
+
+    def test_burstiness_degenerate(self):
+        assert burstiness([]) == 0.0
+        assert burstiness([rec(), rec()]) == 0.0
+
+
+class TestRankPop:
+    def _records(self):
+        out = []
+        # hot site: 90 events; warm: 9; cold: 1 -- heavy skew
+        out += [rec(rip=0x400000, mnemonic="mulsd", time=i * 1e-3) for i in range(90)]
+        out += [rec(rip=0x400100, mnemonic="addsd") for _ in range(9)]
+        out += [rec(rip=0x400200, mnemonic="divsd")]
+        return out
+
+    def test_form_rankpop_ordering(self):
+        rp = form_rankpop(self._records())
+        assert rp.keys[0] == "mulsd"
+        assert list(rp.counts) == [90, 9, 1]
+        assert rp.total == 100
+
+    def test_coverage_rank(self):
+        rp = form_rankpop(self._records())
+        assert rp.coverage_rank(0.90) == 1
+        assert rp.coverage_rank(0.99) == 2
+        assert rp.coverage_rank(1.0) == 3
+
+    def test_address_rankpop(self):
+        rp = address_rankpop(self._records())
+        assert rp.keys[0] == 0x400000
+        assert len(rp) == 3
+
+    def test_event_filter_excludes_non_matching(self):
+        records = self._records() + [
+            rec(rip=0x400300, mnemonic="sqrtsd", codes=int(Flag.IE))
+        ]
+        rp = form_rankpop(records, event="Inexact")
+        assert "sqrtsd" not in rp.keys
+        rp_all = form_rankpop(records, event=None)
+        assert "sqrtsd" in rp_all.keys
+
+    def test_empty_distribution(self):
+        rp = form_rankpop([])
+        assert len(rp) == 0
+        assert rp.total == 0
+        assert rp.coverage_rank(0.99) == 0
+
+    def test_top_and_skew(self):
+        rp = form_rankpop(self._records())
+        assert rp.top(2) == [("mulsd", 90), ("addsd", 9)]
+        assert rp.skew() > 2.0
+
+    def test_form_histogram_counts_codes(self):
+        per_code = {
+            "a": {"mulsd", "addsd"},
+            "b": {"mulsd"},
+            "c": {"mulsd", "divsd"},
+        }
+        h = form_histogram(per_code)
+        assert h["mulsd"] == 3
+        assert h["addsd"] == 1
+
+    def test_form_histogram_exclusion(self):
+        per_code = {"a": {"mulsd"}, "gromacs": {"vmulps", "mulsd"}}
+        h = form_histogram(per_code, exclude=("gromacs",))
+        assert "vmulps" not in h
+
+    def test_forms_only_in(self):
+        per_code = {"a": {"mulsd"}, "g": {"vmulps", "mulsd"}}
+        assert forms_only_in(per_code, "g") == {"vmulps"}
+        assert forms_only_in(per_code, "a") == set()
+
+    def test_rankpop_dataclass(self):
+        rp = RankPopularity(keys=("x",), counts=np.array([5]))
+        assert rp.total == 5 and len(rp) == 1

@@ -1,0 +1,213 @@
+"""Structural unit tests for the application suite: metadata, site
+layout, form assignments, and base-class utilities."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.apps.base import SimApp, mpi_launch, spawn_threads
+from repro.apps.gromacs import GROMACS, SHARED_FORMS
+from repro.apps.nas import NAS_KERNELS, NASSuite, make_nas_kernel
+from repro.apps.parsec import (
+    PARSEC_BENCHMARKS,
+    PARSEC_SPECS,
+    PARSECSuite,
+    make_parsec_benchmark,
+)
+from repro.isa.forms import AVX_FORMS, SSE_FORMS
+from repro.isa.instruction import TEXT_BASE
+
+
+class TestRegistry:
+    def test_seven_applications_registered(self):
+        assert sorted(APPLICATIONS.names()) == [
+            "enzo", "gromacs", "laghos", "lammps", "miniaero", "moose", "wrf",
+        ]
+
+    def test_factory_kwargs(self):
+        app = APPLICATIONS.create("miniaero", scale=0.25, seed=9)
+        assert app.scale == 0.25 and app.seed == 9
+
+    def test_contains(self):
+        assert "moose" in APPLICATIONS
+        assert "hpl" not in APPLICATIONS
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("name", ["miniaero", "lammps", "laghos", "moose",
+                                      "wrf", "enzo", "gromacs"])
+    def test_paper_columns_present(self, name):
+        app = APPLICATIONS.create(name)
+        assert app.loc > 0
+        assert app.problem
+        assert app.paper_exec_time
+        assert app.languages
+
+    def test_paper_loc_values(self):
+        assert APPLICATIONS.create("miniaero").loc == 4_400
+        assert APPLICATIONS.create("lammps").loc == 1_300_000
+        assert APPLICATIONS.create("laghos").loc == 25_000
+        assert APPLICATIONS.create("enzo").loc == 307_000
+        assert PARSECSuite.loc == 3_500_000
+        assert NASSuite.loc == 21_000
+
+
+class TestSiteLayout:
+    def test_sites_start_at_text_base_and_are_unique(self):
+        app = APPLICATIONS.create("moose")
+        sites = app.kb.layout.sites()
+        addrs = [s.address for s in sites]
+        assert addrs[0] == TEXT_BASE
+        assert len(set(addrs)) == len(addrs)
+        assert addrs == sorted(addrs)
+
+    def test_site_layout_is_deterministic(self):
+        a = APPLICATIONS.create("laghos", seed=1)
+        b = APPLICATIONS.create("laghos", seed=1)
+        assert [s.address for s in a.kb.layout.sites()] == [
+            s.address for s in b.kb.layout.sites()
+        ]
+        assert [s.mnemonic for s in a.kb.layout.sites()] == [
+            s.mnemonic for s in b.kb.layout.sites()
+        ]
+
+    def test_every_app_has_cold_sites(self):
+        for name in APPLICATIONS.names():
+            app = APPLICATIONS.create(name)
+            assert len(app.cold) >= 25, name
+
+
+class TestGromacsForms:
+    def test_static_form_allocation_covers_avx(self):
+        app = GROMACS()
+        mnemonics = {s.mnemonic for s in app.kb.layout.sites()}
+        avx = {f.mnemonic for f in AVX_FORMS}
+        assert avx <= mnemonics
+
+    def test_shared_forms_are_exactly_16_sse(self):
+        sse = {f.mnemonic for f in SSE_FORMS}
+        assert len(SHARED_FORMS) == 16
+        assert set(SHARED_FORMS) <= sse
+
+
+class TestParsecSpecs:
+    def test_25_specs_in_paper_order(self):
+        assert len(PARSEC_SPECS) == 25
+        assert PARSEC_BENCHMARKS[0] == "ext/barnes"
+        assert PARSEC_BENCHMARKS[-1] == "x.264"
+
+    def test_spec_forms_are_all_sse(self):
+        sse = {f.mnemonic for f in SSE_FORMS}
+        for spec in PARSEC_SPECS:
+            assert set(spec.forms) <= sse, spec.name
+
+    def test_sse_form_union_is_complete(self):
+        """Every one of the 39 shared forms is statically assigned to at
+        least one non-GROMACS code (necessary for Figure 18)."""
+        assigned = set()
+        for spec in PARSEC_SPECS:
+            assigned |= set(spec.forms)
+            bench = make_parsec_benchmark(spec.name)
+            assigned |= {s.mnemonic for s in bench.kb.layout.sites()}
+        for kernel_name in NAS_KERNELS:
+            k = make_nas_kernel(kernel_name)
+            assigned |= {s.mnemonic for s in k.kb.layout.sites()}
+        for app_name in APPLICATIONS.names():
+            if app_name == "gromacs":
+                continue
+            app = APPLICATIONS.create(app_name)
+            assigned |= {s.mnemonic for s in app.kb.layout.sites()}
+        sse = {f.mnemonic for f in SSE_FORMS}
+        missing = sse - assigned
+        assert not missing, f"forms never allocated: {sorted(missing)}"
+
+    def test_benchmark_names_safe_for_paths(self):
+        for name in PARSEC_BENCHMARKS:
+            bench = make_parsec_benchmark(name)
+            assert "/" not in bench.name and "." not in bench.name
+
+
+class TestNASSpecs:
+    def test_eight_kernels(self):
+        assert len(NAS_KERNELS) == 8
+        assert set(NAS_KERNELS) == {"bt", "cg", "ep", "ft", "is", "lu",
+                                    "mg", "sp"}
+
+    def test_display_names_uppercase(self):
+        assert make_nas_kernel("cg").display_name == "CG"
+
+
+class TestBaseUtilities:
+    def test_scale_helper_floors_at_minimum(self):
+        app = APPLICATIONS.create("moose", scale=0.001)
+        assert app.n(100) == 1
+        assert app.n(100, minimum=5) == 5
+
+    def test_idle_chunks(self):
+        app = APPLICATIONS.create("moose")
+        ops = list(app.idle(4500, chunk=2000))
+        assert [op.count for op in ops] == [2000, 2000, 500]
+
+    def test_spawn_threads_runs_workers(self):
+        from repro.kernel.kernel import Kernel
+
+        done = []
+
+        def worker(i):
+            def gen():
+                from repro.guest.ops import IntWork
+
+                yield IntWork(1)
+                done.append(i)
+
+            return gen
+
+        def main():
+            yield from spawn_threads(3, worker)
+
+        k = Kernel()
+        k.exec_process(main, env={}, name="t")
+        k.run()
+        assert sorted(done) == [0, 1, 2]
+
+    def test_mpi_launch_ranks_inherit_env(self):
+        from repro.apps import LAMMPS
+        from repro.kernel.kernel import Kernel
+
+        k = Kernel()
+        mpi_launch(
+            k, lambda r: LAMMPS(scale=0.1, rank=r), 2,
+            {"MARKER": "yes"}, "lammps",
+        )
+        k.run()
+        ranks = [p for p in k.processes.values() if "rank" in p.name]
+        assert len(ranks) == 2
+        assert all(p.getenv("MARKER") == "yes" for p in ranks)
+        assert all(p.exit_code == 0 for p in ranks)
+
+    def test_rng_streams_differ_across_apps(self):
+        a = APPLICATIONS.create("moose", seed=1)
+        b = APPLICATIONS.create("wrf", seed=1)
+        assert a.nprng.random(4).tolist() != b.nprng.random(4).tolist()
+
+    def test_stream_rejects_missing_operands(self):
+        app = APPLICATIONS.create("moose")
+
+        def bad():
+            yield from app.stream(app.s_jac_d, np.ones(4))  # divsd needs 2
+
+        from repro.kernel.kernel import Kernel
+
+        k = Kernel()
+        k.exec_process(bad, env={}, name="t")
+        with pytest.raises(ValueError):
+            k.run()
+
+
+class TestSimAppIsAbstract:
+    def test_base_requires_overrides(self):
+        class Incomplete(SimApp):
+            name = "incomplete"
+
+        with pytest.raises(NotImplementedError):
+            Incomplete()

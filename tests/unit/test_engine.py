@@ -1,0 +1,182 @@
+"""Unit tests for FPSpy engine internals not covered by the integration
+suite: monitor bookkeeping, meta files, step-aside idempotence, the
+trace prefix knob, and per-thread maxcount."""
+
+from repro.fp.formats import float_to_bits64 as b64
+from repro.fpspy import FPSpyEngine, fpspy_env
+from repro.fpspy.engine import MonitorState
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.loader.fenv import FE_DFL_ENV
+from repro.trace.reader import TraceSet
+
+
+def run(main, env, name="app"):
+    k = Kernel()
+    proc = k.exec_process(main, env=env, name=name)
+    k.run()
+    return k, proc
+
+
+def engine_of(proc) -> FPSpyEngine:
+    return proc.loader.preloads[0].engine
+
+
+class TestMonitorBookkeeping:
+    def test_observed_vs_recorded_with_subsampling(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            for _ in range(12):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc = run(main, fpspy_env("individual", sample=3))
+        mon = engine_of(proc).monitors[1]
+        assert mon.observed == 12
+        assert mon.recorded == 4
+
+    def test_state_machine_returns_to_await_fpe(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield IntWork(10)
+
+        k, proc = run(main, fpspy_env("individual"))
+        mon = engine_of(proc).monitors[1]
+        assert mon.state == MonitorState.AWAIT_FPE
+
+    def test_meta_file_written_at_teardown(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc = run(main, fpspy_env("individual"), name="metatest")
+        meta_files = [p for p in k.vfs.listdir() if p.endswith(".meta")]
+        assert len(meta_files) == 1
+        content = k.vfs.read(meta_files[0]).decode()
+        assert "observed=1" in content and "recorded=1" in content
+        assert "disabled=no" in content
+
+    def test_trace_prefix_knob(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        env = fpspy_env("individual", extra={"FPE_TRACE_PREFIX": "mylogs/"})
+        k, proc = run(main, env)
+        assert any(p.startswith("mylogs/") for p in k.vfs.listdir())
+        ts = TraceSet.from_vfs(k.vfs, prefix="mylogs/")
+        assert ts.count() == 1
+
+
+class TestMaxcountPerThread:
+    def test_one_thread_capped_other_continues(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def worker():
+            for _ in range(10):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        def main():
+            yield LibcCall("pthread_create", (worker,))
+            for _ in range(3):
+                yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield IntWork(500)
+
+        k, proc = run(main, fpspy_env("individual", maxcount=5))
+        engine = engine_of(proc)
+        worker_mon = engine.monitors[2]
+        main_mon = engine.monitors[1]
+        assert worker_mon.recorded == 5 and worker_mon.disabled
+        assert main_mon.recorded == 3 and not main_mon.disabled
+
+
+class TestStepAside:
+    def test_idempotent(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield LibcCall("fesetenv", (FE_DFL_ENV,))
+            yield LibcCall("fesetenv", (FE_DFL_ENV,))  # second call: no-op
+
+        k, proc = run(main, fpspy_env("individual"))
+        engine = engine_of(proc)
+        assert engine.stepped_aside
+        assert "fesetenv" in engine.step_aside_reason
+        assert proc.exit_code == 0
+
+    def test_disable_triggers_can_be_turned_off(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+
+        def main():
+            yield LibcCall("fesetround", (0,))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        env = fpspy_env("individual", extra={"FPE_DISABLE": ""})
+        k, proc = run(main, env)
+        engine = engine_of(proc)
+        assert not engine.stepped_aside  # fenv trigger disabled by user
+        assert TraceSet.from_vfs(k.vfs).count() == 1
+
+    def test_owned_signals_depend_on_timer(self):
+        from repro.kernel.signals import Signal
+
+        k = Kernel()
+
+        def main():
+            yield IntWork(1)
+
+        proc = k.exec_process(
+            main, env=fpspy_env("individual", poisson="10:90", timer="real")
+        )
+        engine = engine_of(proc)
+        assert Signal.SIGALRM in engine.owned_signals()
+        assert Signal.SIGVTALRM not in engine.owned_signals()
+        k.run()
+
+    def test_aggregate_mode_owns_no_signals(self):
+        k = Kernel()
+
+        def main():
+            yield IntWork(1)
+
+        proc = k.exec_process(main, env=fpspy_env("aggregate"))
+        assert engine_of(proc).owned_signals() == frozenset()
+        k.run()
+
+
+class TestShadowedHandlers:
+    def test_aggressive_mode_shadow_returns_previous(self):
+        from repro.kernel.signals import SIG_DFL, Signal
+
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        prevs = []
+
+        def h1(signo, info, uctx):  # pragma: no cover
+            pass
+
+        def h2(signo, info, uctx):  # pragma: no cover
+            pass
+
+        def main():
+            prevs.append((yield LibcCall("signal", (int(Signal.SIGFPE), h1))))
+            prevs.append((yield LibcCall("signal", (int(Signal.SIGFPE), h2))))
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+
+        k, proc = run(main, fpspy_env("individual", aggressive=True))
+        assert prevs[0] == SIG_DFL  # app sees its expected chain
+        assert prevs[1] is h1
+        assert TraceSet.from_vfs(k.vfs).count() == 1  # FPSpy kept working

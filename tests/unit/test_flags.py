@@ -1,0 +1,70 @@
+"""Unit tests for the condition-code / event model."""
+
+import pytest
+
+from repro.fp.flags import (
+    ALL_FLAGS,
+    EVENT_ORDER,
+    FLAG_NAMES,
+    Flag,
+    events_to_flags,
+    flags_to_events,
+    highest_priority,
+)
+
+
+def test_flag_bit_positions_match_mxcsr_layout():
+    assert Flag.IE == 1
+    assert Flag.DE == 2
+    assert Flag.ZE == 4
+    assert Flag.OE == 8
+    assert Flag.UE == 16
+    assert Flag.PE == 32
+
+
+def test_all_flags_is_low_six_bits():
+    assert int(ALL_FLAGS) == 0b111111
+
+
+def test_flag_names_cover_all_six():
+    assert set(FLAG_NAMES.values()) == set(EVENT_ORDER)
+    assert len(FLAG_NAMES) == 6
+
+
+def test_flags_to_events_table_order():
+    assert flags_to_events(Flag.PE | Flag.ZE) == ["DivideByZero", "Inexact"]
+    assert flags_to_events(ALL_FLAGS) == list(EVENT_ORDER)
+    assert flags_to_events(Flag.NONE) == []
+
+
+def test_events_to_flags_paper_names():
+    assert events_to_flags(["Invalid"]) == Flag.IE
+    assert events_to_flags(["DivideByZero", "Overflow"]) == Flag.ZE | Flag.OE
+    assert events_to_flags(EVENT_ORDER) == ALL_FLAGS
+
+
+def test_events_to_flags_mnemonics_and_case():
+    assert events_to_flags(["ie", "PE"]) == Flag.IE | Flag.PE
+    assert events_to_flags(["inexact"]) == Flag.PE
+
+
+def test_events_to_flags_skips_empty_tokens():
+    assert events_to_flags(["", "  ", "Denorm"]) == Flag.DE
+
+
+def test_events_to_flags_rejects_unknown():
+    with pytest.raises(ValueError):
+        events_to_flags(["NotAnEvent"])
+
+
+def test_highest_priority_prefers_precomputation_faults():
+    assert highest_priority(Flag.PE | Flag.IE) == Flag.IE
+    assert highest_priority(Flag.OE | Flag.ZE) == Flag.ZE
+    assert highest_priority(Flag.UE | Flag.PE) == Flag.UE
+    assert highest_priority(Flag.NONE) == Flag.NONE
+
+
+def test_roundtrip_names():
+    for flag, name in FLAG_NAMES.items():
+        assert events_to_flags([name]) == flag
+        assert flags_to_events(flag) == [name]

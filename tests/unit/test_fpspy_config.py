@@ -1,0 +1,133 @@
+"""Unit tests for FPSpy configuration parsing (the Figure 2 interface)."""
+
+import pytest
+
+from repro.fp.flags import ALL_FLAGS, Flag
+from repro.fpspy.config import FPSpyConfig, Mode
+from repro.fpspy.preload import fpspy_env
+
+
+class TestModes:
+    def test_no_mode_means_inert(self):
+        cfg = FPSpyConfig.from_env({})
+        assert cfg.mode is None
+        assert not cfg.active
+
+    def test_aggregate_and_individual(self):
+        assert FPSpyConfig.from_env({"FPE_MODE": "aggregate"}).mode == Mode.AGGREGATE
+        assert FPSpyConfig.from_env({"FPE_MODE": "individual"}).mode == Mode.INDIVIDUAL
+
+    def test_mode_case_insensitive(self):
+        assert FPSpyConfig.from_env({"FPE_MODE": " Aggregate "}).mode == Mode.AGGREGATE
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="FPE_MODE"):
+            FPSpyConfig.from_env({"FPE_MODE": "everything"})
+
+
+class TestKnobs:
+    def test_defaults(self):
+        cfg = FPSpyConfig.from_env({"FPE_MODE": "individual"})
+        assert not cfg.aggressive
+        assert cfg.capture == ALL_FLAGS
+        assert cfg.maxcount is None
+        assert cfg.sample == 1
+        assert not cfg.poisson_enabled
+        assert cfg.timer == "virtual"
+        assert cfg.disable_on_fenv and cfg.disable_on_signals
+
+    def test_aggressive_truthy_forms(self):
+        for v in ("1", "yes", "TRUE", "on"):
+            assert FPSpyConfig.from_env(
+                {"FPE_MODE": "individual", "FPE_AGGRESSIVE": v}
+            ).aggressive
+        assert not FPSpyConfig.from_env(
+            {"FPE_MODE": "individual", "FPE_AGGRESSIVE": "0"}
+        ).aggressive
+
+    def test_except_list(self):
+        cfg = FPSpyConfig.from_env(
+            {"FPE_MODE": "individual",
+             "FPE_EXCEPT_LIST": "DivideByZero,Invalid"}
+        )
+        assert cfg.capture == Flag.ZE | Flag.IE
+
+    def test_except_list_bad_name(self):
+        with pytest.raises(ValueError):
+            FPSpyConfig.from_env(
+                {"FPE_MODE": "individual", "FPE_EXCEPT_LIST": "Rounding"}
+            )
+
+    def test_maxcount_and_sample(self):
+        cfg = FPSpyConfig.from_env(
+            {"FPE_MODE": "individual", "FPE_MAXCOUNT": "1000",
+             "FPE_SAMPLE": "10"}
+        )
+        assert cfg.maxcount == 1000 and cfg.sample == 10
+
+    def test_maxcount_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FPSpyConfig.from_env({"FPE_MODE": "individual", "FPE_MAXCOUNT": "0"})
+
+    def test_sample_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FPSpyConfig.from_env({"FPE_MODE": "individual", "FPE_SAMPLE": "-2"})
+
+    def test_poisson_parse(self):
+        cfg = FPSpyConfig.from_env(
+            {"FPE_MODE": "individual", "FPE_POISSON": "5000:100000"}
+        )
+        assert cfg.poisson_enabled
+        assert cfg.poisson_on == 5000.0 and cfg.poisson_off == 100000.0
+
+    def test_poisson_bad_format(self):
+        for raw in ("5000", "a:b", "0:100", "5000:100:1"):
+            with pytest.raises(ValueError):
+                FPSpyConfig.from_env(
+                    {"FPE_MODE": "individual", "FPE_POISSON": raw}
+                )
+
+    def test_timer_validation(self):
+        cfg = FPSpyConfig.from_env({"FPE_MODE": "individual", "FPE_TIMER": "real"})
+        assert cfg.timer == "real"
+        with pytest.raises(ValueError):
+            FPSpyConfig.from_env({"FPE_MODE": "individual", "FPE_TIMER": "cpu"})
+
+    def test_disable_triggers(self):
+        cfg = FPSpyConfig.from_env(
+            {"FPE_MODE": "individual", "FPE_DISABLE": "fenv"}
+        )
+        assert cfg.disable_on_fenv and not cfg.disable_on_signals
+        cfg = FPSpyConfig.from_env(
+            {"FPE_MODE": "individual", "FPE_DISABLE": ""}
+        )
+        assert not cfg.disable_on_fenv and not cfg.disable_on_signals
+
+    def test_disable_unknown_trigger(self):
+        with pytest.raises(ValueError, match="FPE_DISABLE"):
+            FPSpyConfig.from_env(
+                {"FPE_MODE": "individual", "FPE_DISABLE": "panic"}
+            )
+
+
+class TestEnvBuilder:
+    def test_minimal(self):
+        env = fpspy_env("aggregate")
+        assert env == {"LD_PRELOAD": "fpspy.so", "FPE_MODE": "aggregate"}
+
+    def test_full(self):
+        env = fpspy_env(
+            "individual", aggressive=True, except_list="Invalid",
+            maxcount=5, sample=2, poisson="1:9", timer="real", seed=3,
+            extra={"FPE_TRACE_PREFIX": "t/"},
+        )
+        cfg = FPSpyConfig.from_env(env)
+        assert cfg.aggressive and cfg.capture == Flag.IE
+        assert cfg.maxcount == 5 and cfg.sample == 2
+        assert cfg.poisson_on == 1.0 and cfg.timer == "real" and cfg.seed == 3
+        assert cfg.trace_prefix == "t/"
+
+    def test_roundtrips_through_parser(self):
+        env = fpspy_env("individual", poisson="5000:100000")
+        cfg = FPSpyConfig.from_env(env)
+        assert cfg.mode == Mode.INDIVIDUAL and cfg.poisson_enabled

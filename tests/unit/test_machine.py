@@ -1,0 +1,206 @@
+"""Unit tests for CPU execution details: precise timers, emulated
+writeback, cost accounting, exception priority."""
+
+import pytest
+
+from repro.fp.flags import Flag
+from repro.fp.formats import float_to_bits64 as b64
+from repro.guest.ops import IntWork, LibcCall
+from repro.isa.instruction import CodeLayout, FPInstruction
+from repro.kernel.kernel import Kernel
+from repro.kernel.signals import Signal
+from repro.machine.costs import CostModel, DEFAULT_COSTS
+
+
+def run(main, env=None):
+    k = Kernel()
+    proc = k.exec_process(main, env=env or {}, name="t")
+    k.run()
+    return k, proc
+
+
+class TestCostModel:
+    def test_event_roundtrip_is_thousands_of_cycles(self):
+        assert 2000 < DEFAULT_COSTS.event_roundtrip < 20000
+
+    def test_custom_model(self):
+        m = CostModel(fp_instr=10)
+        assert m.fp_instr == 10
+        assert m.event_roundtrip == DEFAULT_COSTS.event_roundtrip
+
+
+class TestPreciseTimers:
+    def test_large_intwork_stops_at_vtimer_expiry(self):
+        fired_at = []
+        k = Kernel()
+
+        def handler(signo, info, uctx):
+            fired_at.append(k.current_task.vtime)
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGVTALRM), handler))
+            yield LibcCall("setitimer", ("virtual", 100, 0))
+            yield IntWork(10_000)  # one big block
+
+        k.exec_process(main, env={}, name="t")
+        k.run()
+        # The timer fired at ~100 instructions into the block, not at its
+        # end: the CPU split the block at the expiry point.
+        assert fired_at and fired_at[0] <= 110
+
+    def test_large_intwork_stops_at_real_timer(self):
+        fired_cycles = []
+        k = Kernel()
+
+        def handler(signo, info, uctx):
+            fired_cycles.append(k.cycles)
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGALRM), handler))
+            yield LibcCall("setitimer", ("real", 1e-6, 0))
+            yield IntWork(100_000)
+
+        k.exec_process(main, env={}, name="t")
+        k.run()
+        expected = int(1e-6 * k.config.freq_hz)
+        assert fired_cycles
+        # Fires at expiry plus bounded overhead (libc setup + signal
+        # delivery costs), far before the 100k-cycle block would end.
+        assert expected <= fired_cycles[0] <= expected + 2_000
+
+    def test_intwork_remainder_continues_after_signal(self):
+        def handler(signo, info, uctx):
+            pass
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGVTALRM), handler))
+            yield LibcCall("setitimer", ("virtual", 50, 0))
+            yield IntWork(500)
+
+        k, proc = run(main)
+        assert proc.main_task.vtime >= 500  # full block eventually retired
+
+
+class TestEmulatedWriteback:
+    def _setup(self):
+        layout = CodeLayout()
+        return layout.site("mulsd")
+
+    def test_handler_supplied_results_retire_instruction(self):
+        site = self._setup()
+        got = {}
+
+        def handler(signo, info, uctx):
+            # Mask nothing, emulate: claim the result is 42.0.
+            uctx.mcontext.emulated_results = (b64(42.0),)
+            uctx.mcontext.mxcsr = 0x1F80  # clear + mask for cleanliness
+
+        def main():
+            from repro.loader.fenv import FE_INEXACT
+
+            yield LibcCall("sigaction", (int(Signal.SIGFPE), handler))
+            yield LibcCall("feenableexcept", (FE_INEXACT,))
+            res = yield FPInstruction(site, ((b64(0.1), b64(0.1)),))
+            got["r"] = res
+
+        k, proc = run(main)
+        assert proc.exit_code == 0
+        assert got["r"] == (b64(42.0),)
+
+    def test_operands_visible_in_mcontext(self):
+        site = self._setup()
+        seen = {}
+
+        def handler(signo, info, uctx):
+            seen["ops"] = uctx.mcontext.operands
+            uctx.mcontext.mxcsr |= 0x1F80
+
+        def main():
+            from repro.loader.fenv import FE_INEXACT
+
+            yield LibcCall("sigaction", (int(Signal.SIGFPE), handler))
+            yield LibcCall("feenableexcept", (FE_INEXACT,))
+            yield FPInstruction(site, ((b64(0.1), b64(0.1)),))
+
+        run(main)
+        assert seen["ops"] == ((b64(0.1), b64(0.1)),)
+
+    def test_vtime_advances_once_per_emulated_instruction(self):
+        site = self._setup()
+
+        def handler(signo, info, uctx):
+            uctx.mcontext.emulated_results = (b64(1.0),)
+
+        def main():
+            from repro.loader.fenv import FE_INEXACT
+
+            yield LibcCall("sigaction", (int(Signal.SIGFPE), handler))
+            yield LibcCall("feenableexcept", (FE_INEXACT,))
+            for _ in range(5):
+                yield FPInstruction(site, ((b64(0.1), b64(0.1)),))
+
+        k, proc = run(main)
+        # 2 libc calls + 5 FP instructions (each emulated exactly once).
+        assert proc.main_task.vtime == 7
+
+
+class TestExceptionPriority:
+    def test_invalid_outranks_inexact_in_sicode(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        codes = []
+
+        def handler(signo, info, uctx):
+            codes.append(info.code)
+            uctx.mcontext.mxcsr |= 0x1F80
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGFPE), handler))
+            yield LibcCall("feenableexcept", (0x3F,))
+            # 0/0: Invalid; result also "rounds" nothing -- IE only.
+            yield FPInstruction(div, ((b64(0.0), b64(0.0)),))
+
+        run(main)
+        from repro.kernel.signals import SiCode
+
+        assert codes == [int(SiCode.FPE_FLTINV)]
+
+    def test_unmasked_tiny_exact_result_traps_underflow(self):
+        """x64 corner: with UM unmasked, even an *exact* tiny result
+        traps (masked semantics would set no UE flag)."""
+        layout = CodeLayout()
+        mul = layout.site("mulsd")
+        codes = []
+
+        def handler(signo, info, uctx):
+            codes.append(info.code)
+            uctx.mcontext.mxcsr |= 0x1F80
+
+        def main():
+            from repro.loader.fenv import FE_UNDERFLOW
+
+            yield LibcCall("sigaction", (int(Signal.SIGFPE), handler))
+            yield LibcCall("feenableexcept", (FE_UNDERFLOW,))
+            # 2 * min-denormal: exactly representable, but tiny.
+            yield FPInstruction(mul, ((b64(2.0), 1),))
+
+        run(main)
+        from repro.kernel.signals import SiCode
+
+        assert codes == [int(SiCode.FPE_FLTUND)]
+
+
+class TestStickyAcrossInstructions:
+    def test_status_accumulates_masked(self):
+        layout = CodeLayout()
+        div = layout.site("divsd")
+        mul = layout.site("mulsd")
+
+        def main():
+            yield FPInstruction(div, ((b64(1.0), b64(0.0)),))
+            yield FPInstruction(mul, ((b64(1e-200), b64(1e-200)),))
+            yield FPInstruction(mul, ((b64(2.0), b64(2.0)),))  # exact
+
+        k, proc = run(main)
+        status = proc.main_task.mxcsr.status
+        assert Flag.ZE in status and Flag.UE in status and Flag.PE in status

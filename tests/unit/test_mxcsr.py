@@ -1,0 +1,108 @@
+"""Unit tests for the %mxcsr register model."""
+
+from repro.fp.flags import ALL_FLAGS, Flag
+from repro.fp.mxcsr import MXCSR, MXCSR_DEFAULT
+from repro.fp.rounding import RoundingMode
+
+
+def test_default_value_is_linux_poweron():
+    m = MXCSR()
+    assert m.value == 0x1F80
+    assert m.status == Flag.NONE
+    assert m.masks == ALL_FLAGS
+    assert m.rounding == RoundingMode.NEAREST
+    assert not m.ftz and not m.daz
+
+
+def test_status_flags_are_sticky():
+    m = MXCSR()
+    m.set_status(Flag.PE)
+    m.set_status(Flag.ZE)
+    assert m.status == Flag.PE | Flag.ZE
+    # Setting again does not clear anything.
+    m.set_status(Flag.PE)
+    assert m.status == Flag.PE | Flag.ZE
+
+
+def test_clear_status_only_touches_condition_codes():
+    m = MXCSR()
+    m.set_status(ALL_FLAGS)
+    m.rounding = RoundingMode.ZERO
+    m.clear_status()
+    assert m.status == Flag.NONE
+    assert m.rounding == RoundingMode.ZERO
+    assert m.masks == ALL_FLAGS
+
+
+def test_unmask_and_mask():
+    m = MXCSR()
+    m.unmask(Flag.IE | Flag.ZE)
+    assert m.masks == ALL_FLAGS & ~(Flag.IE | Flag.ZE)
+    assert m.unmasked_pending(Flag.ZE | Flag.PE) == Flag.ZE
+    m.mask(Flag.ZE)
+    assert m.unmasked_pending(Flag.ZE) == Flag.NONE
+
+
+def test_set_masks_exact():
+    m = MXCSR()
+    m.set_masks(Flag.PE)  # only Inexact masked; everything else faults
+    assert m.masks == Flag.PE
+    assert m.unmasked_pending(Flag.PE) == Flag.NONE
+    assert m.unmasked_pending(Flag.OE | Flag.PE) == Flag.OE
+
+
+def test_rounding_control_roundtrip():
+    m = MXCSR()
+    for mode in RoundingMode:
+        m.rounding = mode
+        assert m.rounding == mode
+        assert m.status == Flag.NONE  # untouched
+
+
+def test_ftz_daz_bits():
+    m = MXCSR()
+    m.ftz = True
+    assert m.value & (1 << 15)
+    m.daz = True
+    assert m.value & (1 << 6)
+    m.ftz = False
+    assert not m.ftz and m.daz
+
+
+def test_raw_value_round_trip():
+    m = MXCSR()
+    m.value = 0xFFFF
+    assert m.status == ALL_FLAGS
+    assert m.masks == ALL_FLAGS
+    assert m.rounding == RoundingMode.ZERO
+    assert m.ftz and m.daz
+    m2 = MXCSR(m.value)
+    assert m2.value == m.value
+
+
+def test_copy_is_independent():
+    m = MXCSR()
+    c = m.copy()
+    c.set_status(Flag.IE)
+    assert m.status == Flag.NONE
+
+
+def test_context_ftz_requires_masked_um():
+    m = MXCSR()
+    m.ftz = True
+    assert m.context().ftz
+    m.unmask(Flag.UE)
+    assert not m.context().ftz  # FTZ suspended while UM unmasked
+
+
+def test_context_reflects_rounding_and_daz():
+    m = MXCSR()
+    m.rounding = RoundingMode.UP
+    m.daz = True
+    ctx = m.context()
+    assert ctx.rmode == RoundingMode.UP
+    assert ctx.daz
+
+
+def test_default_constant_matches():
+    assert MXCSR_DEFAULT == 0x1F80

@@ -1,0 +1,186 @@
+"""Unit tests for trace record encoding/decoding and readers."""
+
+import numpy as np
+import pytest
+
+from repro.fp.flags import Flag
+from repro.isa.instruction import CodeLayout, encode_form
+from repro.isa.forms import form
+from repro.kernel.vfs import VFS
+from repro.trace.reader import TraceSet, read_aggregate, read_individual
+from repro.trace.records import (
+    RECORD_DTYPE,
+    RECORD_SIZE,
+    AggregateRecord,
+    IndividualRecord,
+    pack_record,
+    records_to_numpy,
+    unpack_records,
+)
+from repro.trace.writer import TraceWriter, trace_path
+
+
+def sample_record(seq=0, codes=int(Flag.PE)):
+    return IndividualRecord(
+        seq=seq,
+        time=1.25e-3,
+        rip=0x401234,
+        rsp=0x7FFC_0000_0000,
+        mxcsr=0x1F80 | codes,
+        sicode=6,
+        codes=codes,
+        insn=encode_form(form("mulsd"), 0x401234),
+    )
+
+
+class TestBinaryFormat:
+    def test_record_is_64_bytes(self):
+        assert RECORD_SIZE == 64
+        assert len(pack_record(sample_record())) == 64
+
+    def test_pack_unpack_roundtrip(self):
+        rec = sample_record(seq=7, codes=int(Flag.ZE | Flag.PE))
+        (back,) = unpack_records(pack_record(rec))
+        assert back == rec
+
+    def test_multiple_records_concatenate(self):
+        data = b"".join(pack_record(sample_record(seq=i)) for i in range(10))
+        recs = unpack_records(data)
+        assert [r.seq for r in recs] == list(range(10))
+
+    def test_truncated_file_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            unpack_records(b"\x00" * 63)
+
+    def test_numpy_view_is_zero_copy(self):
+        data = b"".join(pack_record(sample_record(seq=i)) for i in range(5))
+        arr = records_to_numpy(data)
+        assert arr.dtype == RECORD_DTYPE
+        assert arr.shape == (5,)
+        assert list(arr["seq"]) == [0, 1, 2, 3, 4]
+        assert arr["rip"][0] == 0x401234
+        assert np.all(arr["codes"] == int(Flag.PE))
+
+    def test_numpy_and_object_decoders_agree(self):
+        data = b"".join(
+            pack_record(sample_record(seq=i, codes=i % 64)) for i in range(20)
+        )
+        objs = unpack_records(data)
+        arr = records_to_numpy(data)
+        assert [r.codes for r in objs] == list(arr["codes"])
+        assert [r.time for r in objs] == pytest.approx(list(arr["time"]))
+
+    def test_record_properties(self):
+        rec = sample_record(codes=int(Flag.IE | Flag.PE))
+        assert rec.flags == Flag.IE | Flag.PE
+        assert rec.events == ["Invalid", "Inexact"]
+        assert rec.mnemonic == "mulsd"
+
+
+class TestAggregateRecord:
+    def test_line_roundtrip(self):
+        rec = AggregateRecord(
+            app="laghos", pid=1001, tid=2, status=int(Flag.ZE | Flag.PE),
+            disabled=False,
+        )
+        back = AggregateRecord.from_line(rec.to_line())
+        assert back == rec
+
+    def test_disabled_with_reason(self):
+        rec = AggregateRecord(
+            app="wrf", pid=1, tid=1, status=0, disabled=True,
+            reason="application called fesetenv()",
+        )
+        back = AggregateRecord.from_line(rec.to_line())
+        assert back.disabled
+        assert "fesetenv" in back.reason
+
+    def test_events_property(self):
+        rec = AggregateRecord(app="x", pid=1, tid=1, status=0x3F, disabled=False)
+        assert len(rec.events) == 6
+
+    def test_reader_skips_foreign_lines(self):
+        rec = AggregateRecord(app="x", pid=1, tid=1, status=1, disabled=False)
+        data = ("# comment\n" + rec.to_line() + "garbage\n").encode()
+        assert len(read_aggregate(data)) == 1
+
+
+class TestWriterAndTraceSet:
+    def test_writer_appends_to_vfs(self):
+        vfs = VFS()
+        w = TraceWriter(vfs, "trace/app.1.1.ind")
+        w.append_individual(sample_record())
+        w.append_individual(sample_record(seq=1))
+        assert w.records_written == 2
+        assert len(vfs.read("trace/app.1.1.ind")) == 128
+
+    def test_trace_path_naming(self):
+        assert trace_path("enzo", 1001, 3, "individual") == "trace/enzo.1001.3.ind"
+        assert trace_path("enzo", 1001, 3, "aggregate") == "trace/enzo.1001.3.agg"
+        assert trace_path("x", 1, 1, "individual", prefix="p/") == "p/x.1.1.ind"
+
+    def test_traceset_groups_by_suffix(self):
+        vfs = VFS()
+        TraceWriter(vfs, "trace/a.1.1.ind").append_individual(sample_record())
+        TraceWriter(vfs, "trace/a.1.1.agg").append_aggregate(
+            AggregateRecord(app="a", pid=1, tid=1, status=4, disabled=False)
+        )
+        ts = TraceSet.from_vfs(vfs)
+        assert ts.count() == 1
+        assert len(ts.aggregate) == 1
+        assert ts.event_union() == Flag.ZE | Flag.PE
+
+    def test_records_by_app(self):
+        vfs = VFS()
+        TraceWriter(vfs, "trace/alpha.1.1.ind").append_individual(sample_record())
+        TraceWriter(vfs, "trace/alpha.1.2.ind").append_individual(sample_record())
+        TraceWriter(vfs, "trace/beta.2.1.ind").append_individual(sample_record())
+        ts = TraceSet.from_vfs(vfs)
+        groups = ts.records_by_app()
+        assert len(groups["alpha"]) == 2
+        assert len(groups["beta"]) == 1
+
+    def test_records_array_concatenates(self):
+        vfs = VFS()
+        w1 = TraceWriter(vfs, "trace/a.1.1.ind")
+        w2 = TraceWriter(vfs, "trace/a.1.2.ind")
+        for i in range(3):
+            w1.append_individual(sample_record(seq=i))
+        w2.append_individual(sample_record(seq=99))
+        ts = TraceSet.from_vfs(vfs)
+        arr = ts.records_array()
+        assert arr.shape == (4,)
+        assert 99 in arr["seq"]
+
+    def test_empty_traceset(self):
+        ts = TraceSet.from_vfs(VFS())
+        assert ts.count() == 0
+        assert ts.records_array().shape == (0,)
+        assert ts.event_union() == Flag.NONE
+
+
+class TestVFS:
+    def test_append_counts(self):
+        vfs = VFS()
+        f = vfs.open("x")
+        f.append(b"ab")
+        f.append(b"cd")
+        assert f.appends == 2
+        assert vfs.read("x") == b"abcd"
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            VFS().read("nope")
+
+    def test_listdir_prefix(self):
+        vfs = VFS()
+        vfs.open("trace/a")
+        vfs.open("trace/b")
+        vfs.open("other")
+        assert vfs.listdir("trace/") == ["trace/a", "trace/b"]
+
+    def test_remove(self):
+        vfs = VFS()
+        vfs.open("x")
+        vfs.remove("x")
+        assert not vfs.exists("x")
