@@ -116,7 +116,12 @@ class SimApp(GuestProgram):
         """
         fmt = site.form.fmt or BINARY64
         interleave = self.INT_PER_FP if spread is None else spread
-        encoded = [self.kb.encode_array(np.asarray(a).ravel(), fmt) for a in arrays]
+        if site.form.block_vectorizable:
+            # Hand the block engine raw uint64 bit arrays: no per-element
+            # Python conversion on the hot path.
+            encoded = [self.kb.encode_bits(np.asarray(a).ravel(), fmt) for a in arrays]
+        else:
+            encoded = [self.kb.encode_array(np.asarray(a).ravel(), fmt) for a in arrays]
         bits = yield from self.kb.emit(site, *encoded, interleave=interleave)
         dst = site.form.dst_fmt or fmt
         if site.form.kind.name in ("CVT_F2I", "CVT_F2I_TRUNC", "UCOMI", "COMI"):

@@ -32,6 +32,21 @@ RC_MASK = 0b11 << RC_SHIFT
 #: Power-on / Linux-default value: all exceptions masked, nearest rounding.
 MXCSR_DEFAULT = 0x1F80
 
+#: Bits that determine the :class:`FPContext` an operation executes under:
+#: rounding control, FTZ, DAZ, and the Underflow mask (FTZ only bites while
+#: UM is masked).  Status and the other mask bits are irrelevant.
+_CTX_KEY_MASK = RC_MASK | FTZ_BIT | DAZ_BIT | (int(Flag.UE) << MASK_SHIFT)
+
+#: Interned contexts shared by every MXCSR instance, keyed by the control
+#: bits above (at most 32 distinct values, so the table is bounded).
+_CTX_INTERN: dict[int, FPContext] = {}
+
+#: The register bits that must hold for the machine's block fast path:
+#: every exception masked, round-to-nearest, FTZ and DAZ off.  Status
+#: flags are ignored -- they are sticky outputs, not control state.
+_QUIESCENT_MASK = (int(ALL_FLAGS) << MASK_SHIFT) | RC_MASK | FTZ_BIT | DAZ_BIT
+_QUIESCENT_VALUE = int(ALL_FLAGS) << MASK_SHIFT
+
 
 class MXCSR:
     """A mutable ``%mxcsr`` with convenience accessors.
@@ -40,10 +55,12 @@ class MXCSR:
     access (``value`` property) and the structured accessors always agree.
     """
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_ctx_key", "_ctx")
 
     def __init__(self, value: int = MXCSR_DEFAULT) -> None:
         self._value = value & 0xFFFF
+        self._ctx_key = -1  #: control bits the cached context was built for
+        self._ctx: FPContext | None = None
 
     # ---- raw access (ldmxcsr / stmxcsr) -----------------------------------
 
@@ -54,6 +71,9 @@ class MXCSR:
     @value.setter
     def value(self, raw: int) -> None:
         self._value = raw & 0xFFFF
+        # A raw write (ldmxcsr) may change the control bits: drop the cached
+        # context so the next ``context()`` rebuilds it.
+        self._ctx_key = -1
 
     def copy(self) -> "MXCSR":
         return MXCSR(self._value)
@@ -131,17 +151,41 @@ class MXCSR:
 
     # ---- derived -------------------------------------------------------------
 
+    @property
+    def quiescent(self) -> bool:
+        """True when the register is in the all-masked default control
+        state (every exception masked, round-to-nearest, no FTZ/DAZ).
+
+        This is the gate for the machine's block fast path: in this state
+        no FP instruction can fault and the dynamic context is the default
+        one, so contiguous runs can be executed as a batch.
+        """
+        return (self._value & _QUIESCENT_MASK) == _QUIESCENT_VALUE
+
     def context(self) -> FPContext:
         """The :class:`FPContext` operations should execute under.
 
         FTZ architecturally only takes effect while the Underflow exception
-        is masked; the returned context encodes that.
+        is masked; the returned context encodes that.  Contexts are interned
+        per control-bit value, so the per-instruction hot loop never
+        allocates: the same ``FPContext`` object is returned until a control
+        bit changes.
         """
-        return FPContext(
-            rmode=self.rounding,
-            ftz=self.ftz and bool(self.masks & Flag.UE),
-            daz=self.daz,
-        )
+        key = self._value & _CTX_KEY_MASK
+        if key == self._ctx_key:
+            assert self._ctx is not None
+            return self._ctx
+        ctx = _CTX_INTERN.get(key)
+        if ctx is None:
+            ctx = FPContext(
+                rmode=self.rounding,
+                ftz=self.ftz and bool(self.masks & Flag.UE),
+                daz=self.daz,
+            )
+            _CTX_INTERN[key] = ctx
+        self._ctx_key = key
+        self._ctx = ctx
+        return ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

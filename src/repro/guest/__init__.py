@@ -13,7 +13,10 @@ table, and whether FPSpy has interposed on those symbols is invisible to
 them.
 """
 
-from repro.guest.ops import GuestOp, LibcCall, IntWork
+from repro.guest.ops import FPBlock, GuestOp, LibcCall, IntWork
 from repro.guest.program import GuestProgram, KernelBuilder
 
-__all__ = ["GuestOp", "LibcCall", "IntWork", "GuestProgram", "KernelBuilder"]
+__all__ = [
+    "FPBlock", "GuestOp", "LibcCall", "IntWork", "GuestProgram",
+    "KernelBuilder",
+]

@@ -109,6 +109,19 @@ class KernelBuilder:
         return [int(x) for x in np.asarray(values, dtype=np.float32).view(np.uint32).ravel()]
 
     @staticmethod
+    def encode_bits(values: np.ndarray, fmt=BINARY64) -> np.ndarray:
+        """Like :meth:`encode_array` but returns a numpy uint array.
+
+        Block emission accepts these directly, so binary64 hot loops hand
+        operand bits to the vectorized engine without a per-element
+        Python round trip."""
+        if fmt is BINARY64:
+            f = np.ascontiguousarray(np.asarray(values, dtype=np.float64).ravel())
+            return f.view(np.uint64)
+        f = np.ascontiguousarray(np.asarray(values, dtype=np.float32).ravel())
+        return f.view(np.uint32)
+
+    @staticmethod
     def decode_array(bits: Sequence[int], fmt=BINARY64) -> np.ndarray:
         if fmt is BINARY64:
             return np.asarray(bits, dtype=np.uint64).view(np.float64)
@@ -129,12 +142,18 @@ class KernelBuilder:
         site: CodeSite,
         *operand_streams: Sequence[int],
         interleave: int = 0,
+        block: bool | None = None,
     ) -> Generator:
         """Stream N parallel operand sequences through ``site``.
 
-        Yields :class:`FPInstruction` ops, packing ``site.form.lanes``
-        elements per instruction (padding the tail with benign operands),
-        and returns the flat list of per-element results.
+        By default the whole stream is packaged as one :class:`FPBlock`
+        superblock -- the machine executes it with semantics identical to
+        the per-instruction stream, but may batch it when the task is
+        quiescent (DESIGN.md decision #6).  Pass ``block=False`` to yield
+        the stream the legacy way: one :class:`FPInstruction` per
+        ``site.form.lanes`` elements (padding the tail with benign
+        operands) with an :class:`IntWork` after each.  Either way the
+        flat list of per-element results is returned.
 
         ``interleave`` models the surrounding integer work of a real
         kernel: that many non-FP instructions are executed after each FP
@@ -142,7 +161,7 @@ class KernelBuilder:
         this spreads FP events through virtual time the way real
         applications do, which the Poisson sampler's statistics rely on.
         """
-        from repro.guest.ops import IntWork
+        from repro.guest.ops import FPBlock, IntWork
 
         form = site.form
         if len(operand_streams) != form.arity:
@@ -154,6 +173,18 @@ class KernelBuilder:
         for stream in operand_streams[1:]:
             if len(stream) != n:
                 raise ValueError("operand streams must have equal length")
+        if block is None:
+            block = True
+        if block and n > 0:
+            fpb = FPBlock.build(
+                site, operand_streams, interleave, self._pad_value(site)
+            )
+            results = yield fpb
+            return list(results)
+        operand_streams = tuple(
+            s.tolist() if isinstance(s, np.ndarray) else s
+            for s in operand_streams
+        )
         lanes = form.lanes
         pad = self._pad_value(site)
         out: list[int] = []

@@ -9,6 +9,7 @@ counters provide the Figure 6 breakdown.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -26,16 +27,26 @@ class KernelConfig:
     freq_hz: float = 2.1e9  #: core clock (AMD Opteron 6272, paper section 4)
     quantum: int = 128  #: guest ops per scheduling slice
     costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Enable the vectorized masked-mode block engine (DESIGN.md #6).
+    #: Off, FPBlocks still execute -- one precise sub-step per CPU step --
+    #: which is the bit-equivalence oracle the ablation benchmark uses.
+    blockexec: bool = True
 
 
 @dataclass
 class RealTimer:
-    """An ITIMER_REAL analogue counted in wall-clock cycles."""
+    """An ITIMER_REAL analogue counted in wall-clock cycles.
+
+    Timers live in a min-heap keyed by expiry; re-arming a task replaces
+    its timer by *cancelling* the old object (lazy deletion -- stale heap
+    entries are skipped when popped, identified by a cancelled flag or an
+    expiry that no longer matches the timer's current one)."""
 
     expiry_cycles: int
     interval_cycles: int
     task: Task
     signal: Signal = Signal.SIGALRM
+    cancelled: bool = False
 
 
 class Kernel:
@@ -51,7 +62,13 @@ class Kernel:
         self.processes: dict[int, Process] = {}
         self._next_pid = 1000
         self._runq: deque[Task] = deque()
-        self._real_timers: list[RealTimer] = []
+        #: Min-heap of ``(expiry_cycles, seq, timer)`` plus a per-task map.
+        #: One ITIMER_REAL per task (arming replaces), so the map gives the
+        #: O(1) ``cycles_until_real_timer`` the block engine's per-chunk
+        #: budget checks rely on; the heap gives O(log n) firing.
+        self._timer_heap: list[tuple[int, int, RealTimer]] = []
+        self._task_timers: dict[Task, RealTimer] = {}
+        self._timer_seq = 0
         from repro.machine.cpu import CPU
 
         self.cpu = CPU(self, self.config.costs)
@@ -153,41 +170,62 @@ class Kernel:
         signal: Signal = Signal.SIGALRM,
     ) -> None:
         """setitimer(ITIMER_REAL)-style wall-clock timer for a task."""
-        self._real_timers = [t for t in self._real_timers if t.task is not task]
+        old = self._task_timers.pop(task, None)
+        if old is not None:
+            old.cancelled = True
         if initial_s <= 0:
             return
-        self._real_timers.append(
-            RealTimer(
-                expiry_cycles=self.cycles + int(initial_s * self.config.freq_hz),
-                interval_cycles=int(interval_s * self.config.freq_hz),
-                task=task,
-                signal=signal,
-            )
+        timer = RealTimer(
+            expiry_cycles=self.cycles + int(initial_s * self.config.freq_hz),
+            interval_cycles=int(interval_s * self.config.freq_hz),
+            task=task,
+            signal=signal,
+        )
+        self._task_timers[task] = timer
+        self._push_timer(timer)
+
+    def _push_timer(self, timer: RealTimer) -> None:
+        self._timer_seq += 1
+        heapq.heappush(
+            self._timer_heap, (timer.expiry_cycles, self._timer_seq, timer)
         )
 
     def cycles_until_real_timer(self, task: Task) -> int | None:
-        """Cycles until this task's earliest real timer fires (None if no
-        timer is armed for it)."""
-        expiries = [
-            t.expiry_cycles for t in self._real_timers if t.task is task
-        ]
-        if not expiries:
+        """Cycles until this task's real timer fires (None if unarmed)."""
+        timer = self._task_timers.get(task)
+        if timer is None:
             return None
-        return max(0, min(expiries) - self.cycles)
+        return max(0, timer.expiry_cycles - self.cycles)
+
+    def timer_budgets(self, task: Task) -> tuple[int | None, int | None]:
+        """The task's timer budgets: ``(vtimer instructions remaining,
+        real-timer cycles remaining)``, ``None`` where unarmed.
+
+        This is the cap the execution engines apply to every batched run
+        (integer chunks, FP block chunks) so timer signals land on the
+        precise instruction rather than at the end of a batch.
+        """
+        vt = task.vtimer.remaining if task.vtimer is not None else None
+        return vt, self.cycles_until_real_timer(task)
 
     def _fire_timers(self) -> None:
-        if not self._real_timers:
-            return
-        keep: list[RealTimer] = []
-        for timer in self._real_timers:
-            if timer.expiry_cycles <= self.cycles and timer.task.alive:
-                timer.task.post_signal(SigInfo(signo=timer.signal))
-                if timer.interval_cycles > 0:
-                    timer.expiry_cycles = self.cycles + timer.interval_cycles
-                    keep.append(timer)
-            elif timer.task.alive:
-                keep.append(timer)
-        self._real_timers = keep
+        heap = self._timer_heap
+        while heap and heap[0][0] <= self.cycles:
+            expiry, _, timer = heapq.heappop(heap)
+            if timer.cancelled or expiry != timer.expiry_cycles:
+                continue  # stale entry left behind by a cancel or re-arm
+            if self._task_timers.get(timer.task) is timer and not timer.task.alive:
+                del self._task_timers[timer.task]
+                continue
+            if not timer.task.alive:
+                continue
+            timer.task.post_signal(SigInfo(signo=timer.signal))
+            if timer.interval_cycles > 0:
+                timer.expiry_cycles = self.cycles + timer.interval_cycles
+                self._push_timer(timer)
+            else:
+                if self._task_timers.get(timer.task) is timer:
+                    del self._task_timers[timer.task]
 
     # -------------------------------------------------------- scheduler
 
@@ -201,13 +239,22 @@ class Kernel:
             task = self._runq.popleft()
             if not task.alive:
                 continue
-            for _ in range(self.config.quantum):
+            # The slice is a *budget*, not a step count: a batched block
+            # chunk reports (via ``cpu.step_cost``) how many per-instruction
+            # steps it stands for, so it drains the quantum exactly as the
+            # equivalent scalar stream would and cross-task interleaving is
+            # independent of batching.
+            remaining = self.config.quantum
+            while remaining > 0:
+                self.cpu.step_budget = remaining
                 stepped = self.cpu.step(task)
-                if self._real_timers:
+                cost = self.cpu.step_cost
+                if self._timer_heap:
                     self._fire_timers()
                 if not stepped:
                     break
-                executed += 1
+                executed += cost
+                remaining -= cost
                 if max_ops is not None and executed >= max_ops:
                     if task.alive:
                         self._runq.append(task)

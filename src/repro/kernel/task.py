@@ -88,6 +88,16 @@ class Task:
     def alive(self) -> bool:
         return self.state == TaskState.RUNNABLE
 
+    @property
+    def fp_quiescent(self) -> bool:
+        """No FP instruction can fault or single-step trap right now:
+        every exception masked, default control state (round-to-nearest,
+        no FTZ/DAZ), and ``RFLAGS.TF`` clear.  This is the gate for the
+        block execution fast path -- FPSpy's individual mode unmasks its
+        capture set per thread, which makes the task non-quiescent and
+        forces precise per-instruction execution by construction."""
+        return not self.trap_flag and self.mxcsr.quiescent
+
     def post_signal(self, info: SigInfo) -> None:
         self.pending_signals.append(info)
 

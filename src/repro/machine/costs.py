@@ -32,5 +32,12 @@ class CostModel:
         """Cycles for one full FPSpy event: SIGFPE + SIGTRAP round trips."""
         return 2 * (self.fault_entry + self.signal_deliver + self.sigreturn)
 
+    def block_group_cycles(self, interleave: int) -> int:
+        """Cycles one block group retires: its FP instruction plus the
+        ``interleave`` integer instructions that follow it.  The block
+        engine charges exactly this per group so batched and scalar
+        execution agree cycle-for-cycle."""
+        return self.fp_instr + interleave * self.int_instr
+
 
 DEFAULT_COSTS = CostModel()

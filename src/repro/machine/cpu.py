@@ -24,8 +24,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.fp.flags import Flag, highest_priority
-from repro.guest.ops import IntWork, LibcCall
+from repro.guest.ops import FPBlock, IntWork, LibcCall
 from repro.isa.instruction import FPInstruction
+from repro.machine import blockexec
 from repro.isa.semantics import execute_form
 from repro.kernel.signals import (
     EFLAGS_TF,
@@ -76,6 +77,14 @@ class CPU:
     def __init__(self, kernel: "Kernel", costs: CostModel = DEFAULT_COSTS) -> None:
         self.kernel = kernel
         self.costs = costs
+        #: Scheduler-slice accounting.  A step normally consumes one unit
+        #: of the task's quantum, but a batched block chunk stands for
+        #: many per-instruction steps: the block engine sets ``step_cost``
+        #: to that equivalent count (and respects ``step_budget``, the
+        #: slice units the scheduler has left) so preemption points fall
+        #: where the per-instruction stream would put them.
+        self.step_cost = 1
+        self.step_budget = kernel.config.quantum
 
     # ------------------------------------------------------------- signals
 
@@ -90,6 +99,11 @@ class CPU:
         if info.signo == Signal.SIGFPE and isinstance(op, FPInstruction):
             mctx.instruction = op.site.encoding
             mctx.operands = op.inputs
+        elif info.signo == Signal.SIGFPE and isinstance(op, FPBlock):
+            # A block faults at its cursor: the handler sees exactly the
+            # instruction bytes and operands of the faulting group.
+            mctx.instruction = op.site.encoding
+            mctx.operands = op.group(op.index)
         return UContext(mcontext=mctx)
 
     def deliver_signals(self, task: Task) -> bool:
@@ -124,6 +138,16 @@ class CPU:
                 task.send_value = op.results
                 task.last_rip = op.site.address + len(op.site.encoding)
                 task.advance_vtime(1)
+            elif (
+                emulated is not None
+                and isinstance(task.pending_op, FPBlock)
+                and not task.pending_op.fp_done
+            ):
+                # Same idiom with the block's cursor parked on the faulting
+                # instruction: retire that group with the handler's results.
+                blockexec.retire_fp(
+                    self, task, task.pending_op, tuple(emulated), charge=False
+                )
         return task.alive
 
     # --------------------------------------------------------------- fetch
@@ -149,6 +173,7 @@ class CPU:
 
     def step(self, task: Task) -> bool:
         """Run one operation (or signal burst).  False => task not runnable."""
+        self.step_cost = 1
         if not task.alive:
             return False
         self.kernel.current_task = task
@@ -158,6 +183,8 @@ class CPU:
         if op is None:
             return False
 
+        if isinstance(op, FPBlock):
+            return blockexec.step_block(self, task, op)
         if isinstance(op, FPInstruction):
             return self._exec_fp(task, op)
         if isinstance(op, IntWork):
@@ -213,9 +240,9 @@ class CPU:
             # Precise timers: a long run of integer instructions stops at
             # the next timer expiry so the signal lands where the timer
             # said, not at the end of the block.
-            if task.vtimer is not None:
-                chunk = min(chunk, max(1, task.vtimer.remaining))
-            real_budget = self.kernel.cycles_until_real_timer(task)
+            vt_budget, real_budget = self.kernel.timer_budgets(task)
+            if vt_budget is not None:
+                chunk = min(chunk, max(1, vt_budget))
             if real_budget is not None:
                 chunk = min(chunk, max(1, real_budget // self.costs.int_instr))
         task.pending_int_remaining -= chunk

@@ -190,6 +190,97 @@ class TestExceptionPriority:
         assert codes == [int(SiCode.FPE_FLTUND)]
 
 
+class TestBlockExecution:
+    """The FPBlock engine must be indistinguishable from the
+    per-instruction stream at every architectural seam: timer landing
+    points, single-step traps, restart-after-signal."""
+
+    def _emit_block(self, kb, site, n, interleave):
+        a = [b64(1.5)] * n
+        b = [b64(3.0)] * n
+        results = yield from kb.emit(site, a, b, interleave=interleave)
+        return results
+
+    def _run_vtimer_guest(self, blockexec, initial, n, interleave):
+        from repro.guest.program import KernelBuilder
+        from repro.kernel.kernel import KernelConfig
+
+        kb = KernelBuilder()
+        site = kb.site("mulsd")
+        fired = {}
+        k = Kernel(KernelConfig(blockexec=blockexec))
+
+        def handler(signo, info, uctx):
+            task = k.current_task
+            fired["vtime"] = task.vtime
+            fired["index"] = task.pending_op.index
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGVTALRM), handler))
+            yield LibcCall("setitimer", ("virtual", initial, 0))
+            fired["results"] = yield from self._emit_block(
+                kb, site, n, interleave
+            )
+
+        proc = k.exec_process(main, env={}, name="t")
+        k.run()
+        fired["final_vtime"] = proc.main_task.vtime
+        return fired
+
+    def test_vtimer_fires_at_exact_instruction_inside_block(self):
+        fast = self._run_vtimer_guest(True, initial=37, n=100, interleave=0)
+        # The setitimer call's own retirement consumes the first timer
+        # unit, so the signal lands after 36 block instructions -- not at
+        # the end of the batch -- with the cursor parked right there.
+        assert fast["vtime"] == 38
+        assert fast["index"] == 36
+        assert fast["results"] == [b64(4.5)] * 100
+        # Bit-for-bit the landing point of per-instruction execution.
+        assert self._run_vtimer_guest(False, 37, 100, 0) == fast
+
+    def test_vtimer_fires_mid_group_in_interleave_phase(self):
+        # Each group is 4 virtual-time units (1 FP + 3 int), so the
+        # expiry falls *inside* a group's integer phase: the batch must
+        # stop short and sub-step that group.
+        fast = self._run_vtimer_guest(True, initial=10, n=20, interleave=3)
+        assert fast["vtime"] == 11
+        assert self._run_vtimer_guest(False, 10, 20, 3) == fast
+
+    def test_trap_flag_forces_single_step_with_trap_per_retirement(self):
+        from repro.guest.program import KernelBuilder
+
+        kb = KernelBuilder()
+        site = kb.site("mulsd")
+        trap_vtimes = []
+        k = Kernel()
+
+        def on_vtalrm(signo, info, uctx):
+            uctx.mcontext.trap_flag = True  # start single-stepping
+
+        def on_trap(signo, info, uctx):
+            trap_vtimes.append(k.current_task.vtime)
+            if len(trap_vtimes) >= 6:
+                uctx.mcontext.trap_flag = False  # back to full speed
+
+        def main():
+            yield LibcCall("sigaction", (int(Signal.SIGVTALRM), on_vtalrm))
+            yield LibcCall("sigaction", (int(Signal.SIGTRAP), on_trap))
+            yield LibcCall("setitimer", ("virtual", 5, 0))
+            got = yield from self._emit_block(kb, site, 40, interleave=2)
+            assert got == [b64(4.5)] * 40
+
+        proc = k.exec_process(main, env={}, name="t")
+        k.run()
+        assert proc.exit_code == 0
+        # While TF was set the block executed one instruction per step,
+        # trapping after every retirement: consecutive trap vtimes.
+        assert len(trap_vtimes) == 6
+        assert trap_vtimes == list(range(trap_vtimes[0], trap_vtimes[0] + 6))
+        # And the remainder of the block still completed (full results
+        # asserted inside the guest).
+        assert proc.main_task.vtime >= 3 + 40 * 3
+
+
 class TestStickyAcrossInstructions:
     def test_status_accumulates_masked(self):
         layout = CodeLayout()
