@@ -37,6 +37,7 @@ from repro.fp.formats import (
     bits32_to_float,
 )
 from repro.fp.rounding import RoundingMode
+from repro.fp.memo import MemoSoftFPU
 from repro.fp.mxcsr import MXCSR
 from repro.fp.softfloat import FPContext, SoftFPU, OpResult
 
@@ -53,6 +54,7 @@ __all__ = [
     "float_to_bits32",
     "bits32_to_float",
     "RoundingMode",
+    "MemoSoftFPU",
     "MXCSR",
     "FPContext",
     "SoftFPU",

@@ -27,6 +27,14 @@ import enum
 from typing import Iterable
 
 
+#: Shift from a status-flag bit (bits 0-5 of ``%mxcsr``) to its
+#: corresponding exception-mask bit (bits 7-12).  This is the canonical
+#: definition; :mod:`repro.fp.mxcsr` re-exports it, and anything building
+#: raw mask fields from :class:`Flag` values must use it rather than a
+#: hardcoded constant.
+MASK_SHIFT = 7
+
+
 class Flag(enum.IntFlag):
     """MXCSR status flag bits.  Values are the literal x64 bit positions."""
 
@@ -100,9 +108,17 @@ def events_to_flags(names: Iterable[str]) -> Flag:
     return out
 
 
+#: Integer mirror of :data:`PRIORITY` so the fault hot path avoids IntFlag
+#: operator overhead (one ``&`` per priority probe, per fault).
+_PRIORITY_INTS: tuple[tuple[int, Flag], ...] = tuple(
+    (int(f), f) for f in PRIORITY
+)
+
+
 def highest_priority(flags: Flag) -> Flag:
     """Return the single flag that x64's priority encoding would deliver."""
-    for candidate in PRIORITY:
-        if flags & candidate:
+    raw = int(flags)
+    for bit, candidate in _PRIORITY_INTS:
+        if raw & bit:
             return candidate
     return Flag.NONE

@@ -17,12 +17,9 @@ fault.
 
 from __future__ import annotations
 
-from repro.fp.flags import ALL_FLAGS, Flag
+from repro.fp.flags import ALL_FLAGS, MASK_SHIFT, Flag
 from repro.fp.rounding import RoundingMode
 from repro.fp.softfloat import FPContext
-
-#: Shift from a status-flag bit to its corresponding mask bit.
-MASK_SHIFT = 7
 
 DAZ_BIT = 1 << 6
 FTZ_BIT = 1 << 15
@@ -46,6 +43,9 @@ _CTX_INTERN: dict[int, FPContext] = {}
 #: flags are ignored -- they are sticky outputs, not control state.
 _QUIESCENT_MASK = (int(ALL_FLAGS) << MASK_SHIFT) | RC_MASK | FTZ_BIT | DAZ_BIT
 _QUIESCENT_VALUE = int(ALL_FLAGS) << MASK_SHIFT
+
+_ALL = int(ALL_FLAGS)
+_UE_MASK_BIT = int(Flag.UE) << MASK_SHIFT
 
 
 class MXCSR:
@@ -119,7 +119,15 @@ class MXCSR:
 
     def unmasked_pending(self, flags: Flag) -> Flag:
         """Which of ``flags`` would fault under the current masks."""
-        return Flag(int(flags) & ~int(self.masks) & int(ALL_FLAGS))
+        # Hot path (every FP execution): pure int arithmetic, one Flag
+        # construction -- and ``Flag.NONE`` is a singleton, so the common
+        # all-masked case allocates nothing.
+        return Flag(int(flags) & ~(self._value >> MASK_SHIFT) & _ALL)
+
+    @property
+    def ue_masked(self) -> bool:
+        """True when the Underflow exception is masked (hot-path helper)."""
+        return bool(self._value & _UE_MASK_BIT)
 
     # ---- rounding control ----------------------------------------------------
 

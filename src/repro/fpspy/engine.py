@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.fp.flags import ALL_FLAGS, Flag
+from repro.fp.flags import ALL_FLAGS, MASK_SHIFT, Flag
 from repro.fp.mxcsr import MXCSR
 from repro.fpspy.config import FPSpyConfig, Mode
 from repro.kernel.signals import SigInfo, Signal, UContext
@@ -205,7 +205,7 @@ class FPSpyEngine:
         mctx = uctx.mcontext
         if mon is None or mon.disabled or not self.active:
             # Not ours (or we are winding down): neutralize and move on.
-            mctx.mxcsr = MXCSR(mctx.mxcsr).value | (int(ALL_FLAGS) << 7)
+            mctx.mxcsr = MXCSR(mctx.mxcsr).value | (int(ALL_FLAGS) << MASK_SHIFT)
             return
         if mon.state != MonitorState.AWAIT_FPE:
             # Protocol violation (should be impossible): get out of the way.
@@ -326,6 +326,9 @@ class FPSpyEngine:
         for mon in self.monitors.values():
             mon.disabled = True
             mon.disabled_reason = reason
+            # Whatever was recorded before stepping aside is kept (3.3);
+            # make it durable now since no more events will flush it.
+            mon.writer.flush()
             task = mon.task
             if self.config.mode == Mode.INDIVIDUAL and task.alive:
                 self._quiesce_task(task)

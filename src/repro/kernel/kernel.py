@@ -31,6 +31,12 @@ class KernelConfig:
     #: Off, FPBlocks still execute -- one precise sub-step per CPU step --
     #: which is the bit-equivalence oracle the ablation benchmark uses.
     blockexec: bool = True
+    #: Enable the trap-storm fast path (DESIGN.md #7): fused FPE->TRAP
+    #: delivery plus the per-RIP memoized-executor cache.  Off, every
+    #: SIGTRAP takes the precise posted-signal path and every instruction
+    #: re-executes through the uncached softfloat -- the bit-equivalence
+    #: oracle for benchmarks/test_ablation_trapfast.py.
+    trapfast: bool = True
 
 
 @dataclass
@@ -69,6 +75,13 @@ class Kernel:
         self._timer_heap: list[tuple[int, int, RealTimer]] = []
         self._task_timers: dict[Task, RealTimer] = {}
         self._timer_seq = 0
+        #: Fused-delivery timer fence (DESIGN.md #7).  When the CPU folds a
+        #: SIGTRAP delivery into the faulting step, the end-of-step timer
+        #: check runs *after* charges the precise path would only accrue on
+        #: the following step.  Timers expiring past this floor are held
+        #: back for exactly one check so they fire at the same cycle count
+        #: and the same instruction boundary as the two-trap path.
+        self._timer_defer_floor: int | None = None
         from repro.machine.cpu import CPU
 
         self.cpu = CPU(self, self.config.costs)
@@ -208,12 +221,29 @@ class Kernel:
         vt = task.vtimer.remaining if task.vtimer is not None else None
         return vt, self.cycles_until_real_timer(task)
 
+    def defer_timers_once(self, floor_cycles: int) -> None:
+        """Hold back timers expiring after ``floor_cycles`` for one check.
+
+        Called by the CPU after a fused inline SIGTRAP delivery: the
+        precise path would not have reached this step's end-of-step check
+        with the delivery charges already applied, so any expiry in the
+        fused window must wait for the next check -- which lands at the
+        exact cycle count the two-trap path fires it at.  The scheduler
+        clears the fence after the very next check.
+        """
+        self._timer_defer_floor = floor_cycles
+
     def _fire_timers(self) -> None:
         heap = self._timer_heap
+        floor = self._timer_defer_floor
+        deferred: list[tuple[int, int, RealTimer]] = []
         while heap and heap[0][0] <= self.cycles:
-            expiry, _, timer = heapq.heappop(heap)
+            expiry, seq, timer = heapq.heappop(heap)
             if timer.cancelled or expiry != timer.expiry_cycles:
                 continue  # stale entry left behind by a cancel or re-arm
+            if floor is not None and expiry > floor:
+                deferred.append((expiry, seq, timer))
+                continue
             if self._task_timers.get(timer.task) is timer and not timer.task.alive:
                 del self._task_timers[timer.task]
                 continue
@@ -226,6 +256,8 @@ class Kernel:
             else:
                 if self._task_timers.get(timer.task) is timer:
                     del self._task_timers[timer.task]
+        for entry in deferred:
+            heapq.heappush(heap, entry)
 
     # -------------------------------------------------------- scheduler
 
@@ -251,6 +283,8 @@ class Kernel:
                 cost = self.cpu.step_cost
                 if self._timer_heap:
                     self._fire_timers()
+                # The fused-delivery fence covers exactly one check.
+                self._timer_defer_floor = None
                 if not stepped:
                     break
                 executed += cost

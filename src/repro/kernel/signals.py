@@ -72,6 +72,11 @@ def flag_to_sicode(flag: Flag) -> SiCode:
     return _FLAG_SICODE[flag]
 
 
+#: Plain-int mirrors for the fault/trap hot paths (SigInfo carries ints).
+FLAG_SICODE_INT: dict[Flag, int] = {f: int(c) for f, c in _FLAG_SICODE.items()}
+TRAP_TRACE_CODE: int = int(SiCode.TRAP_TRACE)
+
+
 def sicode_to_flag(code: SiCode) -> Flag:
     for f, c in _FLAG_SICODE.items():
         if c == code:
@@ -79,7 +84,7 @@ def sicode_to_flag(code: SiCode) -> Flag:
     raise ValueError(code)
 
 
-@dataclass
+@dataclass(slots=True)
 class SigInfo:
     """The subset of ``siginfo_t`` the simulation carries."""
 
@@ -92,7 +97,7 @@ class SigInfo:
 EFLAGS_TF = 1 << 8
 
 
-@dataclass
+@dataclass(slots=True)
 class MContext:
     """Mutable machine context passed to signal handlers.
 
@@ -129,7 +134,7 @@ class MContext:
             self.eflags &= ~EFLAGS_TF
 
 
-@dataclass
+@dataclass(slots=True)
 class UContext:
     """``ucontext_t`` analogue: just wraps the mcontext."""
 

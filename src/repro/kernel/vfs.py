@@ -10,6 +10,7 @@ embarrassingly-parallel property (no cross-thread file sharing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass
@@ -37,6 +38,11 @@ class VFS:
 
     def __init__(self) -> None:
         self._files: dict[str, VFile] = {}
+        #: Writer flush hooks, keyed by path.  A buffering writer (e.g.
+        #: :class:`repro.trace.writer.TraceWriter`) registers its flush
+        #: here so readers always observe fully written bytes, no matter
+        #: when they look -- buffering stays invisible.
+        self._sync_hooks: dict[str, Callable[[], None]] = {}
 
     def open(self, path: str, create: bool = True) -> VFile:
         f = self._files.get(path)
@@ -47,16 +53,24 @@ class VFS:
             self._files[path] = f
         return f
 
+    def register_sync(self, path: str, hook: Callable[[], None]) -> None:
+        """Register a flush hook invoked before any read of ``path``."""
+        self._sync_hooks[path] = hook
+
     def exists(self, path: str) -> bool:
         return path in self._files
 
     def read(self, path: str) -> bytes:
+        hook = self._sync_hooks.get(path)
+        if hook is not None:
+            hook()
         return self.open(path, create=False).read()
 
     def listdir(self, prefix: str = "") -> list[str]:
         return sorted(p for p in self._files if p.startswith(prefix))
 
     def remove(self, path: str) -> None:
+        self._sync_hooks.pop(path, None)
         del self._files[path]
 
     def __len__(self) -> int:

@@ -38,8 +38,7 @@ import numpy as np
 from repro.fp import vectorfast
 from repro.fp.flags import Flag, highest_priority
 from repro.guest.ops import FPBlock
-from repro.isa.semantics import execute_form
-from repro.kernel.signals import SigInfo, Signal, flag_to_sicode
+from repro.kernel.signals import FLAG_SICODE_INT, SigInfo, Signal
 from repro.kernel.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,7 +91,6 @@ def _commit_chunk(cpu: "CPU", task: Task, block: FPBlock, k: int) -> None:
     form = block.site.form
     lanes = form.lanes
     start = block.index
-    ctx = task.mxcsr.context()
     flags = Flag.NONE
 
     if block.arrays is not None:
@@ -110,13 +108,13 @@ def _commit_chunk(cpu: "CPU", task: Task, block: FPBlock, k: int) -> None:
             uncert = ~certified.reshape(k, lanes)
             for gi in np.nonzero(uncert.any(axis=1))[0]:
                 g = start + int(gi)
-                outcome = execute_form(form, block.group(g), ctx)
+                outcome = cpu.execute_site(task, block.site, block.group(g))
                 flags |= outcome.flags
                 out[gi * lanes:(gi + 1) * lanes] = outcome.results
     else:
         out = []
         for g in range(start, start + k):
-            outcome = execute_form(form, block.group(g), ctx)
+            outcome = cpu.execute_site(task, block.site, block.group(g))
             flags |= outcome.flags
             out.extend(outcome.results)
 
@@ -155,13 +153,11 @@ def _scalar_substep(cpu: "CPU", task: Task, block: FPBlock) -> bool:
 
 def _substep_fp(cpu: "CPU", task: Task, block: FPBlock) -> bool:
     kernel, costs = cpu.kernel, cpu.costs
-    outcome = execute_form(
-        block.site.form, block.group(block.index), task.mxcsr.context()
-    )
+    outcome = cpu.execute_site(task, block.site, block.group(block.index))
     task.mxcsr.set_status(outcome.flags)
 
     pending = task.mxcsr.unmasked_pending(outcome.flags)
-    if outcome.tiny and not (task.mxcsr.masks & Flag.UE):
+    if outcome.tiny and not task.mxcsr.ue_masked:
         pending |= Flag.UE
     if pending:
         # Precise fault before writeback: the cursor stays on this group,
@@ -172,7 +168,7 @@ def _substep_fp(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         task.post_signal(
             SigInfo(
                 signo=Signal.SIGFPE,
-                code=int(flag_to_sicode(delivered)),
+                code=FLAG_SICODE_INT[delivered],
                 addr=block.site.address,
             )
         )

@@ -27,18 +27,18 @@ from repro.fp.flags import Flag, highest_priority
 from repro.guest.ops import FPBlock, IntWork, LibcCall
 from repro.isa.instruction import FPInstruction
 from repro.machine import blockexec
-from repro.isa.semantics import execute_form
+from repro.isa.semantics import execute_form, form_executor
 from repro.kernel.signals import (
     EFLAGS_TF,
     FATAL_BY_DEFAULT,
+    FLAG_SICODE_INT,
     SIG_DFL,
     SIG_IGN,
+    TRAP_TRACE_CODE,
     MContext,
     SigInfo,
     Signal,
-    SiCode,
     UContext,
-    flag_to_sicode,
 )
 from repro.kernel.task import Task, TaskState
 from repro.machine.costs import DEFAULT_COSTS, CostModel
@@ -85,6 +85,17 @@ class CPU:
         #: where the per-instruction stream would put them.
         self.step_cost = 1
         self.step_budget = kernel.config.quantum
+        #: Trap-storm fast path (DESIGN.md #7).  ``_fuse_armed`` is set by
+        #: ``deliver_signals`` when the step's last delivery was a SIGFPE
+        #: handler and nothing else is pending: the re-execution that
+        #: follows in the same step may then fold its single-step SIGTRAP
+        #: delivery inline instead of posting it for the next step.
+        self.trapfast = kernel.config.trapfast
+        self._fuse_armed = False
+        #: Per-RIP cache: address -> (site, memoized executor, end rip).
+        #: ``TEXT_BASE`` is shared across processes, so entries validate
+        #: the interned :class:`CodeSite` by identity before use.
+        self._site_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------- signals
 
@@ -123,32 +134,41 @@ class CPU:
             self.kernel.cycles += self.costs.signal_deliver
             uctx = self._build_ucontext(task, info)
             disposition(info.signo, info, uctx)
-            # Apply handler writes back to the architectural state.
-            task.mxcsr.value = uctx.mcontext.mxcsr
-            task.trap_flag = uctx.mcontext.trap_flag
-            task.stime_cycles += self.costs.sigreturn
-            self.kernel.cycles += self.costs.sigreturn
-            emulated = uctx.mcontext.emulated_results
-            if emulated is not None and isinstance(task.pending_op, FPInstruction):
-                # Trap-and-emulate: the handler computed the instruction's
-                # results itself; retire without re-execution.
-                op = task.pending_op
-                op.results = tuple(emulated)
-                task.pending_op = None
-                task.send_value = op.results
-                task.last_rip = op.site.address + len(op.site.encoding)
-                task.advance_vtime(1)
-            elif (
-                emulated is not None
-                and isinstance(task.pending_op, FPBlock)
-                and not task.pending_op.fp_done
-            ):
-                # Same idiom with the block's cursor parked on the faulting
-                # instruction: retire that group with the handler's results.
-                blockexec.retire_fp(
-                    self, task, task.pending_op, tuple(emulated), charge=False
-                )
+            self._apply_handler_writes(task, uctx)
+            # Arm the fused single-step path: the handler of a precise FP
+            # fault just returned (typically having masked the exception
+            # and set TF) and nothing else is queued ahead of the trap.
+            self._fuse_armed = (
+                info.signo == Signal.SIGFPE and not task.pending_signals
+            )
         return task.alive
+
+    def _apply_handler_writes(self, task: Task, uctx: UContext) -> None:
+        """Apply a returning handler's context writes to the task."""
+        task.mxcsr.value = uctx.mcontext.mxcsr
+        task.trap_flag = uctx.mcontext.trap_flag
+        task.stime_cycles += self.costs.sigreturn
+        self.kernel.cycles += self.costs.sigreturn
+        emulated = uctx.mcontext.emulated_results
+        if emulated is not None and isinstance(task.pending_op, FPInstruction):
+            # Trap-and-emulate: the handler computed the instruction's
+            # results itself; retire without re-execution.
+            op = task.pending_op
+            op.results = tuple(emulated)
+            task.pending_op = None
+            task.send_value = op.results
+            task.last_rip = op.site.address + len(op.site.encoding)
+            task.advance_vtime(1)
+        elif (
+            emulated is not None
+            and isinstance(task.pending_op, FPBlock)
+            and not task.pending_op.fp_done
+        ):
+            # Same idiom with the block's cursor parked on the faulting
+            # instruction: retire that group with the handler's results.
+            blockexec.retire_fp(
+                self, task, task.pending_op, tuple(emulated), charge=False
+            )
 
     # --------------------------------------------------------------- fetch
 
@@ -174,6 +194,7 @@ class CPU:
     def step(self, task: Task) -> bool:
         """Run one operation (or signal burst).  False => task not runnable."""
         self.step_cost = 1
+        self._fuse_armed = False
         if not task.alive:
             return False
         self.kernel.current_task = task
@@ -193,13 +214,54 @@ class CPU:
             return self._exec_call(task, op)
         raise TypeError(f"guest yielded unsupported op {op!r}")
 
+    # ----------------------------------------------- per-RIP decode cache
+
+    def _site_entry(self, site) -> tuple:
+        """Interned execution record for a static code site.
+
+        One tuple per RIP: the (already decoded) site, its memoized
+        executor, and the retirement RIP, so a hot loop body -- or the
+        trap->replay cycle on a single instruction -- never re-derives any
+        of them.  ``TEXT_BASE`` is shared across processes, so a cached
+        entry is only used if it is for this exact interned site object.
+        """
+        entry = self._site_cache.get(site.address)
+        if entry is None or entry[0] is not site:
+            entry = (
+                site,
+                form_executor(site.form),
+                site.address + len(site.encoding),
+            )
+            self._site_cache[site.address] = entry
+        return entry
+
+    def execute_site(self, task: Task, site, inputs):
+        """Execute one instruction of ``site``, honoring ``trapfast``.
+
+        Both execution engines (scalar and block sub-step) route through
+        here so the ablation toggles one switch: ``trapfast`` on takes the
+        per-RIP memoized executor, off takes the uncached softfloat --
+        bit-identical by construction and by property test.
+        """
+        if self.trapfast:
+            return self._site_entry(site)[1](inputs, task.mxcsr.context())
+        return execute_form(site.form, inputs, task.mxcsr.context())
+
+    # ------------------------------------------------------------ execute
+
     def _exec_fp(self, task: Task, op: FPInstruction) -> bool:
-        outcome = execute_form(op.form, op.inputs, task.mxcsr.context())
+        site = op.site
+        if self.trapfast:
+            _, executor, end_rip = self._site_entry(site)
+            outcome = executor(op.inputs, task.mxcsr.context())
+        else:
+            outcome = execute_form(op.form, op.inputs, task.mxcsr.context())
+            end_rip = site.address + len(site.encoding)
         # Condition codes are set as a side effect regardless of masking.
         task.mxcsr.set_status(outcome.flags)
 
         pending = task.mxcsr.unmasked_pending(outcome.flags)
-        if outcome.tiny and not (task.mxcsr.masks & Flag.UE):
+        if outcome.tiny and not task.mxcsr.ue_masked:
             # Unmasked-UM corner: even an *exact* tiny result traps.
             pending |= Flag.UE
         if pending:
@@ -212,8 +274,8 @@ class CPU:
             task.post_signal(
                 SigInfo(
                     signo=Signal.SIGFPE,
-                    code=int(flag_to_sicode(delivered)),
-                    addr=op.site.address,
+                    code=FLAG_SICODE_INT[delivered],
+                    addr=site.address,
                 )
             )
             return True
@@ -222,7 +284,7 @@ class CPU:
         op.results = outcome.results
         task.pending_op = None
         task.send_value = outcome.results
-        task.last_rip = op.site.address + len(op.site.encoding)
+        task.last_rip = end_rip
         task.utime_cycles += self.costs.fp_instr
         self.kernel.cycles += self.costs.fp_instr
         task.advance_vtime(1)
@@ -279,10 +341,68 @@ class CPU:
         return True
 
     def _maybe_trap(self, task: Task) -> None:
-        """Post the single-step SIGTRAP if TF is set after retirement."""
-        if task.trap_flag:
-            task.stime_cycles += self.costs.fault_entry
-            self.kernel.cycles += self.costs.fault_entry
-            task.post_signal(
-                SigInfo(signo=Signal.SIGTRAP, code=int(SiCode.TRAP_TRACE))
-            )
+        """Raise the single-step SIGTRAP if TF is set after retirement.
+
+        Precise path: charge the fault entry and post the signal; it is
+        delivered at the start of the task's next step.  Fused path
+        (DESIGN.md #7): when this step's signal burst ended with a SIGFPE
+        handler arming TF and fusion is provably unobservable, deliver the
+        SIGTRAP inline right now -- same charges, same handler-visible
+        state, one scheduler round-trip less.
+        """
+        if not task.trap_flag:
+            return
+        kernel = self.kernel
+        if (
+            self._fuse_armed
+            and self.trapfast
+            # Bail-out: anything already queued would be delivered before
+            # the trap on the precise path (including a SIGVTALRM the
+            # re-execution's vtime advance just posted).
+            and not task.pending_signals
+            # Bail-out: the precise delivery must land in this same slice;
+            # at a quantum boundary another task runs first.
+            and self.step_budget - self.step_cost >= 1
+        ):
+            disposition = task.process.disposition(Signal.SIGTRAP)
+            # Bail-out: SIG_DFL (fatal) / SIG_IGN take kernel-side paths
+            # at the precise delivery point; don't short-circuit those.
+            if callable(disposition):
+                # Bail-out: a real timer expiring by the precise path's
+                # end-of-step check must fire there (and periodic timers
+                # re-arm off the firing cycle); fusion would move it.
+                floor = kernel.cycles + self.costs.fault_entry
+                heap = kernel._timer_heap
+                if not heap or heap[0][0] > floor:
+                    self._deliver_trap_inline(task, disposition, floor)
+                    return
+        task.stime_cycles += self.costs.fault_entry
+        kernel.cycles += self.costs.fault_entry
+        task.post_signal(
+            SigInfo(signo=Signal.SIGTRAP, code=TRAP_TRACE_CODE)
+        )
+
+    def _deliver_trap_inline(self, task: Task, disposition, floor: int) -> None:
+        """Fused FPE->TRAP delivery: run the SIGTRAP handler in this step.
+
+        The charge sequence is exactly the precise path's -- fault entry
+        (posting), then delivery, handler, sigreturn -- so cycle counts,
+        utime/stime splits, and every value the handler can observe
+        (rip, rsp, eflags, mxcsr via a fresh ucontext) are identical.
+        Timers expiring past ``floor`` (the cycle at which the precise
+        path's next check would run) are held back one check by
+        ``defer_timers_once`` so their firing cycle and landing
+        instruction also match.
+        """
+        self._fuse_armed = False
+        costs = self.costs
+        kernel = self.kernel
+        task.stime_cycles += costs.fault_entry
+        kernel.cycles += costs.fault_entry
+        info = SigInfo(signo=Signal.SIGTRAP, code=TRAP_TRACE_CODE)
+        task.stime_cycles += costs.signal_deliver
+        kernel.cycles += costs.signal_deliver
+        uctx = self._build_ucontext(task, info)
+        disposition(info.signo, info, uctx)
+        self._apply_handler_writes(task, uctx)
+        kernel.defer_timers_once(floor)

@@ -150,3 +150,75 @@ def test_non_vectorizable_forms_use_group_path_equivalently(
     oracle = _run(mnemonic, streams, 2, capture, blockexec=False, block=False)
     fast = _run(mnemonic, streams, 2, capture, blockexec=True, block=True)
     assert fast == oracle
+
+
+# --------------------------------------------- sampler off-phase windows
+
+
+def test_sampler_off_phase_is_block_eligible():
+    """A Poisson-sampled individual-mode thread starts (and periodically
+    re-enters) the OFF phase with everything masked and TF clear: the
+    task must then satisfy the block engine's quiescence gate, and its
+    control word must map to the *interned* default context so the memo
+    keys of the fast path line up."""
+    from repro.fpspy import fpspy_env
+    from repro.guest.ops import IntWork
+
+    k = Kernel()
+
+    def main():
+        yield IntWork(1)
+
+    proc = k.exec_process(
+        main,
+        env=fpspy_env("individual", poisson="50:50", timer="virtual", seed=1),
+        name="offphase",
+    )
+    task = proc.main_task
+    # init_thread ran in the constructor: OFF phase, capture set masked.
+    assert task.fp_quiescent
+    assert task.mxcsr.context() is task.mxcsr.context()
+    k.run()
+
+
+def _run_poisson(blockexec, streams, interleave):
+    """An FPSpy-monitored run whose sampler toggles mid-block."""
+    from repro.fpspy import fpspy_env
+
+    kb = KernelBuilder()
+    site = kb.site("mulpd")
+    k = Kernel(KernelConfig(blockexec=blockexec))
+
+    def main():
+        yield from kb.emit(site, *streams, interleave=interleave)
+
+    proc = k.exec_process(
+        main,
+        env=fpspy_env("individual", poisson="60:40", timer="virtual", seed=9),
+        name="sampled",
+    )
+    k.run()
+    task = proc.main_task
+    return {
+        "state": {p: k.vfs.read(p) for p in k.vfs.listdir("")},
+        "vtime": task.vtime,
+        "mxcsr": task.mxcsr.value,
+        "cycles": k.cycles,
+    }
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=st.data(),
+    n=st.integers(min_value=16, max_value=64),
+    interleave=st.sampled_from([0, 3]),
+)
+def test_off_phase_windows_batch_equivalently(data, n, interleave):
+    """Mid-individual-run OFF windows re-enter the vectorized fast path;
+    toggling the block engine must not perturb traces or the clock."""
+    streams = [
+        data.draw(st.lists(bits64, min_size=n, max_size=n)) for _ in range(2)
+    ]
+    fast = _run_poisson(True, streams, interleave)
+    oracle = _run_poisson(False, streams, interleave)
+    assert fast == oracle
