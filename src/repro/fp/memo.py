@@ -41,6 +41,7 @@ class MemoSoftFPU(FastSoftFPU):
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._cache: dict[tuple, object] = {}
 
     def _insert(self, key: tuple, out):
@@ -48,8 +49,24 @@ class MemoSoftFPU(FastSoftFPU):
         cache = self._cache
         if len(cache) >= self.capacity:
             cache.pop(next(iter(cache)))
+            self.evictions += 1
         cache[key] = out
         return out
+
+    @property
+    def occupancy(self) -> int:
+        """Entries currently resident in the FIFO."""
+        return len(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time cache statistics (telemetry bus / benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "occupancy": len(self._cache),
+            "capacity": self.capacity,
+        }
 
     # ------------------------------------------------------- arithmetic
 

@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.fp.flags import ALL_FLAGS, MASK_SHIFT, Flag
+from repro.fp.flags import ALL_FLAGS, MASK_SHIFT, Flag, flags_to_events
 from repro.fp.mxcsr import MXCSR
 from repro.fpspy.config import FPSpyConfig, Mode
 from repro.kernel.signals import SigInfo, Signal, UContext
@@ -50,6 +50,8 @@ class ThreadMonitor:
     rng: random.Random = field(default_factory=random.Random)
     disabled: bool = False
     disabled_reason: str = ""
+    #: Sim-cycle timestamp of the last sampler phase transition (telemetry).
+    phase_start_cycles: int = 0
 
 
 class FPSpyEngine:
@@ -67,6 +69,42 @@ class FPSpyEngine:
         self._handlers_installed = False
         #: App handler registrations swallowed in aggressive mode.
         self.shadowed_handlers: dict[Signal, object] = {}
+
+        # Telemetry (pull-based; None when the bus is disabled so the hot
+        # handlers pay one `is not None` branch each).
+        tel = self.kernel.telemetry
+        if tel:
+            scope = tel.scope("fpspy")
+            self._t_events = scope.labeled("events")
+            self._t_observed = scope.counter("observed")
+            self._t_recorded = scope.counter("recorded")
+            self._t_toggles = scope.labeled("sampler.toggles")
+            self._t_phase = scope.labeled("sampler.phase_cycles")
+            self._t_step_asides = scope.counter("step_asides")
+            scope.gauge(f"proc.{process.pid}", self._proc_gauge)
+        else:
+            self._t_events = None
+            self._t_observed = None
+            self._t_recorded = None
+            self._t_toggles = None
+            self._t_phase = None
+            self._t_step_asides = None
+
+    def _proc_gauge(self) -> dict[str, float]:
+        """Per-process monitoring totals, sampled only at snapshot time."""
+        observed = sum(m.observed for m in self.monitors.values())
+        recorded = sum(m.recorded for m in self.monitors.values())
+        utime = sum(m.task.utime_cycles for m in self.monitors.values())
+        stime = sum(m.task.stime_cycles for m in self.monitors.values())
+        return {
+            "threads": len(self.monitors),
+            "observed": observed,
+            "recorded": recorded,
+            "utime_cycles": utime,
+            "stime_cycles": stime,
+            "individual": int(self.config.mode == Mode.INDIVIDUAL),
+            "stepped_aside": int(self.stepped_aside),
+        }
 
     # ------------------------------------------------------------- misc
 
@@ -102,8 +140,13 @@ class FPSpyEngine:
             self.process.name, self.process.pid, task.tid, cfg.mode.value,
             prefix=cfg.trace_prefix,
         )
-        mon = ThreadMonitor(task=task, writer=TraceWriter(self.kernel.vfs, path))
+        mon = ThreadMonitor(
+            task=task,
+            writer=TraceWriter(self.kernel.vfs, path,
+                               telemetry=self.kernel.telemetry),
+        )
         mon.rng = random.Random(f"{cfg.seed}:{self.process.pid}:{task.tid}")
+        mon.phase_start_cycles = self.kernel.cycles
         self.monitors[task.tid] = mon
 
         if cfg.mode == Mode.AGGREGATE:
@@ -159,6 +202,8 @@ class FPSpyEngine:
                     f"reason={mon.disabled_reason.replace(' ', '_') or '-'}\n"
                 ).encode()
             )
+        # Retire the writer: drain and unhook from the VFS (idempotent).
+        mon.writer.close()
         task.utime_cycles += self.costs.libc_call
 
     # ------------------------------------------------------- mask helpers
@@ -216,6 +261,10 @@ class FPSpyEngine:
         mx = MXCSR(mctx.mxcsr)
         codes = int(mx.status)
         mon.observed += 1
+        if self._t_observed is not None:
+            self._t_observed.value += 1
+            for name in flags_to_events(Flag(codes)):
+                self._t_events.inc(name)
         task.utime_cycles += self.costs.handler_user
         self.kernel.cycles += self.costs.handler_user
 
@@ -234,6 +283,8 @@ class FPSpyEngine:
             )
             mon.seq += 1
             mon.recorded += 1
+            if self._t_recorded is not None:
+                self._t_recorded.value += 1
             task.utime_cycles += self.costs.trace_append
             self.kernel.cycles += self.costs.trace_append
 
@@ -283,7 +334,14 @@ class FPSpyEngine:
         mon = self._current_monitor()
         if mon is None or mon.disabled or not self.active:
             return
+        if self._t_toggles is not None:
+            # Charge the phase being left with its sim-cycle dwell time.
+            leaving = "on" if mon.sampling_on else "off"
+            self._t_phase.inc(leaving, self.kernel.cycles - mon.phase_start_cycles)
+            mon.phase_start_cycles = self.kernel.cycles
         mon.sampling_on = not mon.sampling_on
+        if self._t_toggles is not None:
+            self._t_toggles.inc("to_on" if mon.sampling_on else "to_off")
         self._arm_sampler(mon)
         if mon.state == MonitorState.AWAIT_FPE:
             mx = MXCSR(uctx.mcontext.mxcsr)
@@ -320,6 +378,8 @@ class FPSpyEngine:
             return
         self.stepped_aside = True
         self.step_aside_reason = reason
+        if self._t_step_asides is not None:
+            self._t_step_asides.value += 1
         if self.config.mode == Mode.INDIVIDUAL:
             self._uninstall_handlers()
         drop = {Signal.SIGFPE, Signal.SIGTRAP, self.alarm_signal}

@@ -37,6 +37,17 @@ class KernelConfig:
     #: re-executes through the uncached softfloat -- the bit-equivalence
     #: oracle for benchmarks/test_ablation_trapfast.py.
     trapfast: bool = True
+    #: Enable the cross-layer telemetry bus (DESIGN.md #8) and mount the
+    #: guest-visible ``/proc/fpspy/`` tree.  Telemetry never perturbs
+    #: architectural state -- traces and cycle counts are byte-identical
+    #: either way (tests/property/test_telemetry_props.py) -- so this
+    #: switch only trades a small host-side counting cost for
+    #: introspection.  Off, every instrumented site sees the falsy
+    #: module-level NULL_BUS and skips itself with one branch.
+    telemetry: bool = False
+    #: Attribute simulator wall-clock to {guest, trap, tracing,
+    #: telemetry} via the self-profiler (implies ``telemetry``).
+    profile: bool = False
 
 
 @dataclass
@@ -82,9 +93,45 @@ class Kernel:
         #: back for exactly one check so they fire at the same cycle count
         #: and the same instruction boundary as the two-trap path.
         self._timer_defer_floor: int | None = None
+
+        from repro.telemetry.bus import NULL_BUS, TelemetryBus
+
+        if self.config.telemetry or self.config.profile:
+            self.telemetry = TelemetryBus(self)
+            if self.config.profile:
+                from repro.telemetry.profiler import SelfProfiler
+
+                self.telemetry.profiler = SelfProfiler()
+            self._install_telemetry()
+        else:
+            self.telemetry = NULL_BUS
+
         from repro.machine.cpu import CPU
 
         self.cpu = CPU(self, self.config.costs)
+
+    def _install_telemetry(self) -> None:
+        """Register the kernel's own instruments and mount /proc/fpspy."""
+        sc = self.telemetry.scope("kernel")
+        self._t_slices = sc.counter("sched.slices")
+        self._t_switches = sc.counter("sched.switches")
+        self._t_timers_fired = sc.counter("timers.fired")
+        self._t_timers_deferred = sc.counter("timers.deferred")
+        self._t_defer_fences = sc.counter("timers.defer_fences")
+        sc.gauge("timers.armed", lambda: len(self._task_timers))
+        sc.gauge("processes", lambda: len(self.processes))
+        sc.gauge("runq", lambda: len(self._runq))
+
+        # The softfloat memo layer is module-global (shared by every
+        # kernel in the host process); its counters are pulled, never
+        # pushed, so exposing it here costs nothing at execution time.
+        from repro.isa.semantics import memo_stats
+
+        self.telemetry.scope("fp.memo").gauge("", memo_stats)
+
+        from repro.telemetry.procfs import mount_proc
+
+        mount_proc(self)
 
     # ----------------------------------------------------------- clock
 
@@ -232,6 +279,8 @@ class Kernel:
         clears the fence after the very next check.
         """
         self._timer_defer_floor = floor_cycles
+        if self.telemetry:
+            self._t_defer_fences.value += 1
 
     def _fire_timers(self) -> None:
         heap = self._timer_heap
@@ -243,6 +292,8 @@ class Kernel:
                 continue  # stale entry left behind by a cancel or re-arm
             if floor is not None and expiry > floor:
                 deferred.append((expiry, seq, timer))
+                if self.telemetry:
+                    self._t_timers_deferred.value += 1
                 continue
             if self._task_timers.get(timer.task) is timer and not timer.task.alive:
                 del self._task_timers[timer.task]
@@ -250,6 +301,8 @@ class Kernel:
             if not timer.task.alive:
                 continue
             timer.task.post_signal(SigInfo(signo=timer.signal))
+            if self.telemetry:
+                self._t_timers_fired.value += 1
             if timer.interval_cycles > 0:
                 timer.expiry_cycles = self.cycles + timer.interval_cycles
                 self._push_timer(timer)
@@ -267,10 +320,18 @@ class Kernel:
         Returns the number of guest operations executed.
         """
         executed = 0
+        tel = self.telemetry
+        prof = tel.profiler if tel else None
+        last_task = None
         while self._runq:
             task = self._runq.popleft()
             if not task.alive:
                 continue
+            if tel:
+                self._t_slices.value += 1
+                if task is not last_task:
+                    self._t_switches.value += last_task is not None
+                    last_task = task
             # The slice is a *budget*, not a step count: a batched block
             # chunk reports (via ``cpu.step_cost``) how many per-instruction
             # steps it stands for, so it drains the quantum exactly as the
@@ -279,7 +340,13 @@ class Kernel:
             remaining = self.config.quantum
             while remaining > 0:
                 self.cpu.step_budget = remaining
-                stepped = self.cpu.step(task)
+                if prof is not None:
+                    t0 = prof.clock()
+                    stepped = self.cpu.step(task)
+                    prof.total_s += prof.clock() - t0
+                    prof.steps += 1
+                else:
+                    stepped = self.cpu.step(task)
                 cost = self.cpu.step_cost
                 if self._timer_heap:
                     self._fire_timers()

@@ -43,6 +43,10 @@ class VFS:
         #: here so readers always observe fully written bytes, no matter
         #: when they look -- buffering stays invisible.
         self._sync_hooks: dict[str, Callable[[], None]] = {}
+        #: Synthetic read-only files (``/proc``-style), keyed by path.
+        #: A provider renders the file's bytes at read time, so the
+        #: content is always current and nothing is stored.
+        self._providers: dict[str, Callable[[], bytes]] = {}
 
     def open(self, path: str, create: bool = True) -> VFile:
         f = self._files.get(path)
@@ -57,21 +61,42 @@ class VFS:
         """Register a flush hook invoked before any read of ``path``."""
         self._sync_hooks[path] = hook
 
+    def unregister_sync(self, path: str, hook: Callable[[], None]) -> None:
+        """Drop ``path``'s flush hook -- but only if it is still ``hook``.
+
+        The identity check makes writer teardown safe against reuse: a
+        closed writer cannot clobber the hook a *newer* writer on the
+        same path has since registered.
+        """
+        if self._sync_hooks.get(path) is hook:
+            del self._sync_hooks[path]
+
+    def register_provider(self, path: str, provider: Callable[[], bytes]) -> None:
+        """Mount a synthetic read-only file rendered on every read."""
+        self._providers[path] = provider
+
     def exists(self, path: str) -> bool:
-        return path in self._files
+        return path in self._files or path in self._providers
 
     def read(self, path: str) -> bytes:
+        provider = self._providers.get(path)
+        if provider is not None:
+            return provider()
         hook = self._sync_hooks.get(path)
         if hook is not None:
             hook()
         return self.open(path, create=False).read()
 
     def listdir(self, prefix: str = "") -> list[str]:
-        return sorted(p for p in self._files if p.startswith(prefix))
+        paths = set(self._files) | set(self._providers)
+        return sorted(p for p in paths if p.startswith(prefix))
 
     def remove(self, path: str) -> None:
+        if path in self._providers:
+            del self._providers[path]
+            return
         self._sync_hooks.pop(path, None)
         del self._files[path]
 
     def __len__(self) -> int:
-        return len(self._files)
+        return len(self._files) + len(self._providers)

@@ -89,6 +89,16 @@ def _write(ctx: GuestCallContext, path: str, payload: bytes) -> int:
     return ctx.kernel.vfs.open(path).append(payload)
 
 
+def _read(ctx: GuestCallContext, path: str) -> bytes:
+    """Whole-file read, including the synthetic ``/proc/fpspy/`` tree.
+
+    The charge is the flat ``libc_call`` cost applied by the CPU to
+    every call, independent of content, so a guest introspecting the
+    monitor perturbs the clock no differently than any other libc call.
+    """
+    return ctx.kernel.vfs.read(path)
+
+
 # --------------------------------------------------------------- signals
 
 
@@ -230,6 +240,7 @@ LIBC_SYMBOLS: dict[str, LibcFn] = {
     "gettid": _gettid,
     "getenv": _getenv,
     "write": _write,
+    "read": _read,
     "signal": _signal,
     "sigaction": _sigaction,
     "raise": _raise,

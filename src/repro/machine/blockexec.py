@@ -56,6 +56,9 @@ def step_block(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         or not kernel.config.blockexec
         or not task.fp_quiescent
     ):
+        if cpu._t_blk_scalar is not None:
+            cpu._t_blk_scalar.value += 1
+            cpu._note_block_mode(task, False)
         return _scalar_substep(cpu, task, block)
 
     costs = cpu.costs
@@ -76,10 +79,17 @@ def step_block(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         # than a whole group's budget left): execute it with scalar
         # sub-steps so signals and preemption land on the exact
         # instruction.
+        if cpu._t_blk_scalar is not None:
+            cpu._t_blk_scalar.value += 1
+            cpu._note_block_mode(task, False)
         return _scalar_substep(cpu, task, block)
 
     _commit_chunk(cpu, task, block, k)
     cpu.step_cost = k * w
+    if cpu._t_blk_chunks is not None:
+        cpu._t_blk_chunks.value += 1
+        cpu._t_blk_groups.value += k
+        cpu._note_block_mode(task, True)
     return True
 
 

@@ -96,6 +96,53 @@ class CPU:
         #: ``TEXT_BASE`` is shared across processes, so entries validate
         #: the interned :class:`CodeSite` by identity before use.
         self._site_cache: dict[int, tuple] = {}
+        #: Telemetry (DESIGN.md #8).  Instruments are pre-fetched here so
+        #: hot paths pay one ``is not None`` test when disabled; none of
+        #: them may charge cycles or touch architectural state.
+        tel = kernel.telemetry
+        self._prof = tel.profiler if tel else None
+        if tel:
+            sc = tel.scope("cpu")
+            self._t_site_hits = sc.counter("site_cache.hits")
+            self._t_site_misses = sc.counter("site_cache.misses")
+            self._t_fused = sc.counter("trapfusion.fused")
+            self._t_bailed = sc.counter("trapfusion.bailed")
+            self._t_bail_reasons = sc.labeled("trapfusion.bailouts")
+            self._t_signals = tel.scope("kernel").labeled("signals.delivered")
+            sc.gauge("site_cache.size", lambda: len(self._site_cache))
+            blk = tel.scope("blockexec")
+            self._t_blk_chunks = blk.counter("fast_chunks")
+            self._t_blk_groups = blk.counter("fast_groups")
+            self._t_blk_scalar = blk.counter("scalar_substeps")
+            self._t_blk_enter = blk.counter("quiesce.entries")
+            self._t_blk_exit = blk.counter("quiesce.exits")
+        else:
+            self._t_site_hits = None
+            self._t_site_misses = None
+            self._t_fused = None
+            self._t_bailed = None
+            self._t_bail_reasons = None
+            self._t_signals = None
+            self._t_blk_chunks = None
+            self._t_blk_groups = None
+            self._t_blk_scalar = None
+            self._t_blk_enter = None
+            self._t_blk_exit = None
+        #: Host-only per-task record of the block engine's last regime
+        #: (True = vectorized chunk, False = precise sub-step), for the
+        #: quiescence entry/exit transition counters.
+        self._blk_mode: dict[Task, bool] = {}
+
+    def _note_block_mode(self, task: Task, fast: bool) -> None:
+        """Count quiescence regime transitions for ``task`` (telemetry)."""
+        prev = self._blk_mode.get(task)
+        if prev is fast:
+            return
+        self._blk_mode[task] = fast
+        if fast:
+            self._t_blk_enter.value += 1
+        elif prev is not None:
+            self._t_blk_exit.value += 1
 
     # ------------------------------------------------------------- signals
 
@@ -130,6 +177,8 @@ class CPU:
                     return False
                 continue
             # User handler: kernel crossing, frame setup, handler body.
+            if self._t_signals is not None:
+                self._t_signals.inc(info.signo)
             task.stime_cycles += self.costs.signal_deliver
             self.kernel.cycles += self.costs.signal_deliver
             uctx = self._build_ucontext(task, info)
@@ -198,7 +247,18 @@ class CPU:
         if not task.alive:
             return False
         self.kernel.current_task = task
-        if not self.deliver_signals(task):
+        prof = self._prof
+        if prof is not None:
+            # Attribute the delivery burst (kernel crossings + handler
+            # bodies) to the trap bin, minus any trace appends the
+            # handlers issued, which TraceWriter credits to tracing.
+            t0 = prof.clock()
+            tr0 = prof.tracing_s
+            delivered = self.deliver_signals(task)
+            prof.account_trap(prof.clock() - t0, prof.tracing_s - tr0)
+            if not delivered:
+                return False
+        elif not self.deliver_signals(task):
             return False
         op = self._fetch(task)
         if op is None:
@@ -233,6 +293,10 @@ class CPU:
                 site.address + len(site.encoding),
             )
             self._site_cache[site.address] = entry
+            if self._t_site_misses is not None:
+                self._t_site_misses.value += 1
+        elif self._t_site_hits is not None:
+            self._t_site_hits.value += 1
         return entry
 
     def execute_site(self, task: Task, site, inputs):
@@ -353,29 +417,41 @@ class CPU:
         if not task.trap_flag:
             return
         kernel = self.kernel
-        if (
-            self._fuse_armed
-            and self.trapfast
-            # Bail-out: anything already queued would be delivered before
-            # the trap on the precise path (including a SIGVTALRM the
-            # re-execution's vtime advance just posted).
-            and not task.pending_signals
-            # Bail-out: the precise delivery must land in this same slice;
-            # at a quantum boundary another task runs first.
-            and self.step_budget - self.step_cost >= 1
-        ):
-            disposition = task.process.disposition(Signal.SIGTRAP)
-            # Bail-out: SIG_DFL (fatal) / SIG_IGN take kernel-side paths
-            # at the precise delivery point; don't short-circuit those.
-            if callable(disposition):
-                # Bail-out: a real timer expiring by the precise path's
-                # end-of-step check must fire there (and periodic timers
-                # re-arm off the firing cycle); fusion would move it.
-                floor = kernel.cycles + self.costs.fault_entry
-                heap = kernel._timer_heap
-                if not heap or heap[0][0] > floor:
-                    self._deliver_trap_inline(task, disposition, floor)
-                    return
+        if self._fuse_armed and self.trapfast:
+            reason = None
+            if task.pending_signals:
+                # Bail-out: anything already queued would be delivered
+                # before the trap on the precise path (including a
+                # SIGVTALRM the re-execution's vtime advance just posted).
+                reason = "pending_signal"
+            elif self.step_budget - self.step_cost < 1:
+                # Bail-out: the precise delivery must land in this same
+                # slice; at a quantum boundary another task runs first.
+                reason = "quantum"
+            else:
+                disposition = task.process.disposition(Signal.SIGTRAP)
+                if not callable(disposition):
+                    # Bail-out: SIG_DFL (fatal) / SIG_IGN take kernel-side
+                    # paths at the precise delivery point; don't
+                    # short-circuit those.
+                    reason = "disposition"
+                else:
+                    # Bail-out: a real timer expiring by the precise
+                    # path's end-of-step check must fire there (and
+                    # periodic timers re-arm off the firing cycle);
+                    # fusion would move it.
+                    floor = kernel.cycles + self.costs.fault_entry
+                    heap = kernel._timer_heap
+                    if heap and heap[0][0] <= floor:
+                        reason = "timer"
+                    else:
+                        if self._t_fused is not None:
+                            self._t_fused.value += 1
+                        self._deliver_trap_inline(task, disposition, floor)
+                        return
+            if self._t_bailed is not None:
+                self._t_bailed.value += 1
+                self._t_bail_reasons.inc(reason)
         task.stime_cycles += self.costs.fault_entry
         kernel.cycles += self.costs.fault_entry
         task.post_signal(
@@ -397,12 +473,20 @@ class CPU:
         self._fuse_armed = False
         costs = self.costs
         kernel = self.kernel
+        prof = self._prof
+        if prof is not None:
+            t0 = prof.clock()
+            tr0 = prof.tracing_s
         task.stime_cycles += costs.fault_entry
         kernel.cycles += costs.fault_entry
         info = SigInfo(signo=Signal.SIGTRAP, code=TRAP_TRACE_CODE)
+        if self._t_signals is not None:
+            self._t_signals.inc(info.signo)
         task.stime_cycles += costs.signal_deliver
         kernel.cycles += costs.signal_deliver
         uctx = self._build_ucontext(task, info)
         disposition(info.signo, info, uctx)
         self._apply_handler_writes(task, uctx)
         kernel.defer_timers_once(floor)
+        if prof is not None:
+            prof.account_trap(prof.clock() - t0, prof.tracing_s - tr0)

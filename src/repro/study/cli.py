@@ -7,6 +7,7 @@ Commands
 ``validate``  run the paper's validation matrix
 ``overhead``  just the Figure 6 overhead sweep
 ``spy``       run one named application under FPSpy and dump its traces
+``telemetry`` run an app with the telemetry bus on and dump/diff snapshots
 """
 
 from __future__ import annotations
@@ -116,6 +117,59 @@ def _cmd_spy(args) -> int:
     return 0
 
 
+def _cmd_telemetry_run(args) -> int:
+    import json
+    import pathlib
+
+    from repro.apps import APPLICATIONS
+    from repro.fpspy import fpspy_env
+    from repro.kernel.kernel import Kernel, KernelConfig
+    from repro.telemetry.procfs import render_counters, render_status
+
+    if args.app not in APPLICATIONS:
+        print(f"unknown app {args.app!r}; choose from {APPLICATIONS.names()}",
+              file=sys.stderr)
+        return 2
+    app = APPLICATIONS.create(args.app, scale=args.scale)
+    env = fpspy_env(args.mode, except_list=args.except_list)
+    kernel = Kernel(KernelConfig(telemetry=True, profile=args.profile))
+    kernel.exec_process(app.main, env=env, name=app.name)
+    kernel.run()
+
+    snapshot = kernel.telemetry.snapshot()
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_status(kernel), end="")
+        print(render_counters(kernel.telemetry), end="")
+    if args.profile:
+        print()
+        print(kernel.telemetry.profiler.render_table())
+    return 0
+
+
+def _cmd_telemetry_diff(args) -> int:
+    import json
+    import pathlib
+
+    from repro.telemetry import diff_snapshots
+
+    a = json.loads(pathlib.Path(args.baseline).read_text())
+    b = json.loads(pathlib.Path(args.new).read_text())
+    diff = diff_snapshots(a, b, threshold=args.threshold)
+    print(diff.render())
+    if not diff.ok:
+        print(f"FAIL: {len(diff.regressions)} fast-path rate regression(s) "
+              f"beyond {args.threshold:g}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.study",
@@ -155,6 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
     spy.add_argument("--limit", type=int, default=20,
                      help="records shown per trace file")
     spy.set_defaults(fn=_cmd_spy)
+
+    tel = sub.add_parser("telemetry", help="telemetry snapshots and diffs")
+    telsub = tel.add_subparsers(dest="telemetry_command", required=True)
+
+    trun = telsub.add_parser("run", help="run one app with telemetry enabled")
+    trun.add_argument("app", help="application name (e.g. miniaero)")
+    trun.add_argument("--mode", default="aggregate",
+                      choices=["aggregate", "individual"])
+    trun.add_argument("--scale", type=float, default=0.5)
+    trun.add_argument("--except-list", dest="except_list", default=None)
+    trun.add_argument("--format", default="table", choices=["table", "json"])
+    trun.add_argument("--out", help="also write the JSON snapshot here")
+    trun.add_argument("--profile", action="store_true",
+                      help="enable the overhead self-profiler and print its table")
+    trun.set_defaults(fn=_cmd_telemetry_run)
+
+    tdiff = telsub.add_parser(
+        "diff", help="compare two snapshots; non-zero exit on regressions")
+    tdiff.add_argument("baseline", help="baseline snapshot JSON")
+    tdiff.add_argument("new", help="new snapshot JSON")
+    tdiff.add_argument("--threshold", type=float, default=0.05,
+                       help="absolute fast-path rate drop that fails (default 0.05)")
+    tdiff.set_defaults(fn=_cmd_telemetry_diff)
     return p
 
 

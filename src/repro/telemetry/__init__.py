@@ -1,0 +1,49 @@
+"""``repro.telemetry``: the cross-layer observability bus.
+
+FPSpy's evaluation is about *observing the observer* -- event counts and
+kinds, where monitoring time goes, how often each fast path engages --
+and this package gives the reproduction the same first-class view of
+itself.  It is deliberately zero-dependency (stdlib only) and strictly
+*pull-based*: layers bump plain counters in place, and nothing is
+serialized, timestamped, or aggregated until someone asks for a
+:meth:`~repro.telemetry.bus.TelemetryBus.snapshot`.
+
+Three consumers sit on top of one :class:`~repro.telemetry.bus.TelemetryBus`
+per kernel:
+
+* :mod:`repro.telemetry.procfs` mounts a read-only ``/proc/fpspy/`` tree
+  into the simulated VFS, so *guest* programs can introspect the monitor
+  the way real FPSpy users read its log files;
+* ``python -m repro.study telemetry`` dumps and diffs snapshots from the
+  host side (``repro.telemetry.snapshot`` holds the flatten/diff logic);
+* :mod:`repro.telemetry.profiler` attributes simulator wall-clock to
+  {guest execution, trap handling, tracing, telemetry itself}.
+
+The cardinal rule is **zero perturbation**: no instrumentation point may
+charge cycles, post signals, or touch architectural state, so traces and
+cycle counts are byte-identical with telemetry on or off (enforced by
+``tests/property/test_telemetry_props.py``).  Disabled, the whole bus
+collapses to the module-level no-op :data:`~repro.telemetry.bus.NULL_BUS`
+whose falsiness lets hot paths skip instrumentation with one branch.
+"""
+
+from repro.telemetry.bus import (
+    NULL_BUS,
+    Counter,
+    LabeledCounter,
+    NullBus,
+    Scope,
+    TelemetryBus,
+)
+from repro.telemetry.snapshot import diff_snapshots, flatten_snapshot
+
+__all__ = [
+    "NULL_BUS",
+    "Counter",
+    "LabeledCounter",
+    "NullBus",
+    "Scope",
+    "TelemetryBus",
+    "diff_snapshots",
+    "flatten_snapshot",
+]

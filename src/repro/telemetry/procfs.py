@@ -1,0 +1,100 @@
+"""``/proc/fpspy/``: guest-visible introspection of the monitor.
+
+Real FPSpy's observability surface is its log files; the reproduction
+adds the other half of the analogy -- a ``/proc``-style tree of
+synthetic read-only files in the simulated VFS, rendered on demand from
+the kernel's telemetry bus.  Guest programs read them through the
+ordinary ``read`` libc call (one ``libc_call`` charge, independent of
+content, so introspection does not perturb the clock differently from
+any other libc call), and host-side tools read them straight off
+``kernel.vfs``.
+
+Files::
+
+    /proc/fpspy/status         one-line-per-fact summary (text)
+    /proc/fpspy/counters       flat "scope.key value" lines (text)
+    /proc/fpspy/snapshot.json  the full snapshot (JSON)
+    /proc/fpspy/events         span events, one per line, cycle-stamped
+
+Rendering is pull-based: nothing is materialized until a read, and the
+renderers here are exactly what the ``repro telemetry`` CLI uses, so the
+guest view and the CLI snapshot can never drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.telemetry.snapshot import derive_rates, flatten_snapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.telemetry.bus import TelemetryBus
+
+PROC_ROOT = "/proc/fpspy/"
+
+
+def render_counters(bus: "TelemetryBus") -> str:
+    """Flat ``scope.key value`` lines, sorted -- the canonical text form."""
+    flat = flatten_snapshot(bus.snapshot())
+    lines = [f"{key} {value:g}" for key, value in sorted(flat.items())]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_snapshot_json(bus: "TelemetryBus") -> str:
+    return json.dumps(bus.snapshot(), indent=2, sort_keys=True) + "\n"
+
+
+def render_status(kernel: "Kernel") -> str:
+    bus = kernel.telemetry
+    flat = flatten_snapshot(bus.snapshot())
+    lines = [
+        "fpspy-telemetry enabled",
+        f"cycles {kernel.cycles}",
+        f"now_seconds {kernel.now_seconds:.9f}",
+        f"processes {len(kernel.processes)}",
+        f"scopes {len(bus.scopes())}",
+    ]
+    for name, rate in sorted(derive_rates(flat).items()):
+        lines.append(f"{name} {rate:.6f}")
+    return "\n".join(lines) + "\n"
+
+
+def render_events(bus: "TelemetryBus") -> str:
+    rows = []
+    for scope in bus.scopes():
+        for cycles, name, fields in scope.events():
+            detail = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            rows.append((cycles, f"{cycles} {scope.name}.{name} {detail}".rstrip()))
+    rows.sort(key=lambda r: r[0])
+    return "\n".join(line for _, line in rows) + ("\n" if rows else "")
+
+
+def mount_proc(kernel: "Kernel") -> None:
+    """Register the ``/proc/fpspy/`` providers on the kernel's VFS.
+
+    Each provider accounts its render time to the self-profiler's
+    ``telemetry`` bin when profiling is on, so the cost of looking is
+    itself visible in the overhead table.
+    """
+    bus = kernel.telemetry
+
+    def profiled(render):
+        def provide() -> bytes:
+            prof = bus.profiler
+            t0 = prof.clock() if prof is not None else 0.0
+            data = render().encode()
+            if prof is not None:
+                prof.telemetry_s += prof.clock() - t0
+            return data
+
+        return provide
+
+    vfs = kernel.vfs
+    vfs.register_provider(PROC_ROOT + "status", profiled(lambda: render_status(kernel)))
+    vfs.register_provider(PROC_ROOT + "counters", profiled(lambda: render_counters(bus)))
+    vfs.register_provider(
+        PROC_ROOT + "snapshot.json", profiled(lambda: render_snapshot_json(bus))
+    )
+    vfs.register_provider(PROC_ROOT + "events", profiled(lambda: render_events(bus)))

@@ -1,0 +1,92 @@
+"""The overhead self-profiler: where does simulator wall-time go?
+
+The paper's Figure 6 decomposes *guest* overhead into user/system time;
+this profiler does the same for the *simulator*, attributing host
+wall-clock to four bins:
+
+``guest``
+    executing guest operations (softfloat, block commits, libc bodies);
+``trap``
+    delivering signals and running handlers (the monitoring loop's
+    kernel crossings -- what the trap-storm fast path attacks);
+``tracing``
+    serializing and flushing trace records (``TraceWriter``), wherever
+    it runs -- appends issued inside a SIGFPE handler are *moved* from
+    the trap bin into this one, so the two never double-count;
+``telemetry``
+    the bus's own snapshot/render work (the observer observing itself).
+
+``guest`` is computed residually from the total stepping time measured
+in ``Kernel.run``, so the four bins sum to the measured total.  The
+per-increment cost of counters is below the timer's resolution per
+event and is bounded in aggregate by ``BENCH_telemetry.json`` instead.
+
+Profiling costs two ``perf_counter`` calls per ``CPU.step`` and is off
+unless ``KernelConfig.profile`` asks for it; it perturbs nothing the
+guest can see (host wall-clock is outside the simulated machine).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class SelfProfiler:
+    """Accumulates wall-time attribution for one kernel's run."""
+
+    clock = staticmethod(time.perf_counter)
+
+    def __init__(self) -> None:
+        self.total_s = 0.0  #: time inside CPU.step (set by Kernel.run)
+        self.trap_s = 0.0  #: signal delivery + handler bodies
+        self.tracing_s = 0.0  #: TraceWriter pack/flush
+        self.telemetry_s = 0.0  #: bus snapshot/render
+        self.steps = 0
+
+    # ------------------------------------------------------- producers
+
+    def account_tracing(self, dt: float) -> None:
+        self.tracing_s += dt
+
+    def account_trap(self, dt: float, tracing_within: float) -> None:
+        """Credit a delivery burst, minus the tracing it contained."""
+        self.trap_s += dt - tracing_within
+
+    # ------------------------------------------------------- consumers
+
+    @property
+    def guest_s(self) -> float:
+        return max(
+            0.0, self.total_s - self.trap_s - self.tracing_s - self.telemetry_s
+        )
+
+    def report(self) -> dict[str, float]:
+        total = self.total_s
+        bins = {
+            "guest": self.guest_s,
+            "trap": self.trap_s,
+            "tracing": self.tracing_s,
+            "telemetry": self.telemetry_s,
+        }
+        out: dict[str, float] = {"total_s": total, "steps": self.steps}
+        for name, s in bins.items():
+            out[f"{name}_s"] = s
+            out[f"{name}_pct"] = 100.0 * s / total if total > 0 else 0.0
+        return out
+
+    def render_table(self) -> str:
+        """A paper-style overhead table (EXPERIMENTS.md)."""
+        rep = self.report()
+        lines = [
+            f"{'component':<12s} {'wall(ms)':>10s} {'share':>8s}",
+            f"{'-' * 12} {'-' * 10} {'-' * 8}",
+        ]
+        for name in ("guest", "trap", "tracing", "telemetry"):
+            lines.append(
+                f"{name:<12s} {rep[f'{name}_s'] * 1e3:>10.3f}"
+                f" {rep[f'{name}_pct']:>7.1f}%"
+            )
+        lines.append(
+            f"{'total':<12s} {rep['total_s'] * 1e3:>10.3f} {'100.0%':>8s}"
+        )
+        return "\n".join(lines)

@@ -7,6 +7,11 @@ records accumulate in a local buffer and reach the VFS in one append per
 file (the writer registers a sync hook with the VFS).  Readers therefore
 always see exactly the bytes an unbuffered writer would have produced --
 buffering is invisible to everything but the append count.
+
+Lifecycle: :meth:`TraceWriter.close` drains the buffer and unhooks the
+writer from the VFS.  Close is idempotent, and unhooking uses the VFS's
+identity-checked ``unregister_sync`` so a stale writer closed *after* a
+newer writer re-opened the same path can never tear down the live hook.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from repro.trace.records import AggregateRecord, IndividualRecord, pack_record
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.vfs import VFS
+    from repro.telemetry.bus import TelemetryBus
 
 
 def trace_path(app: str, pid: int, tid: int, mode: str, prefix: str = "trace/") -> str:
@@ -31,13 +37,41 @@ class TraceWriter:
     #: Individual records buffered between VFS appends.
     FLUSH_EVERY = 256
 
-    def __init__(self, vfs: "VFS", path: str) -> None:
+    def __init__(self, vfs: "VFS", path: str,
+                 telemetry: "TelemetryBus | None" = None) -> None:
         self.path = path
+        self._vfs = vfs
         self._file = vfs.open(path)
         self.records_written = 0
         self._buffer = bytearray()
         self._buffered_records = 0
-        vfs.register_sync(path, self.flush)
+        self._closed = False
+        # Host-side accounting (plain ints; read by telemetry gauges and
+        # tests, never charged to the guest).
+        self.flushes = 0
+        self.sync_flushes = 0
+        self.bytes_flushed = 0
+        if telemetry:
+            scope = telemetry.scope("trace")
+            self._t_flushes = scope.counter("flushes")
+            self._t_sync_flushes = scope.counter("sync_flushes")
+            self._t_bytes = scope.counter("bytes_flushed")
+            self._prof = telemetry.profiler
+        else:
+            self._t_flushes = None
+            self._t_sync_flushes = None
+            self._t_bytes = None
+            self._prof = None
+        vfs.register_sync(path, self._sync_flush)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes accumulated since the last drain."""
+        return len(self._buffer)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def append_individual(self, rec: IndividualRecord) -> None:
         self._buffer += pack_record(rec)
@@ -56,9 +90,44 @@ class TraceWriter:
         self._buffer += line.encode()
         self.flush()
 
+    def _sync_flush(self) -> None:
+        """VFS sync hook: a reader is looking, force the buffer out."""
+        if self._buffer:
+            self.sync_flushes += 1
+            if self._t_sync_flushes is not None:
+                self._t_sync_flushes.value += 1
+        self.flush()
+
     def flush(self) -> None:
         """Drain the buffer to the VFS as a single append."""
+        prof = self._prof
+        t0 = prof.clock() if prof is not None else 0.0
         if self._buffer:
+            n = len(self._buffer)
             self._file.append(bytes(self._buffer))
             self._buffer.clear()
+            self.flushes += 1
+            self.bytes_flushed += n
+            if self._t_flushes is not None:
+                self._t_flushes.value += 1
+                self._t_bytes.value += n
         self._buffered_records = 0
+        if prof is not None:
+            prof.tracing_s += prof.clock() - t0
+
+    def close(self) -> None:
+        """Drain and detach from the VFS.  Idempotent.
+
+        Ordering matters: the final flush happens *before* the sync hook
+        is removed, so a concurrent reader between the two still sees a
+        fully drained file; afterwards the hook is gone and a later
+        writer on the same path owns the registration.  Double-close is
+        a no-op -- in particular it must not unregister a hook installed
+        by a newer writer that reused this path, which the VFS's
+        identity check guarantees.
+        """
+        if self._closed:
+            return
+        self.flush()
+        self._vfs.unregister_sync(self.path, self._sync_flush)
+        self._closed = True

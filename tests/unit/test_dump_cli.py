@@ -86,3 +86,55 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             cli_main([])
+
+
+class TestTelemetryCLI:
+    def test_run_dumps_table_and_snapshot(self, tmp_path, capsys):
+        out_json = tmp_path / "snap.json"
+        assert cli_main(
+            ["telemetry", "run", "moose", "--scale", "0.2",
+             "--out", str(out_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fpspy-telemetry enabled" in out
+        assert "kernel.sched.slices" in out
+        assert out_json.exists()
+
+    def test_run_unknown_app(self, capsys):
+        assert cli_main(["telemetry", "run", "nonexistent"]) == 2
+
+    def test_run_profile_prints_table(self, capsys):
+        assert cli_main(
+            ["telemetry", "run", "moose", "--scale", "0.2", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "component" in out and "guest" in out
+
+    def test_diff_identical_snapshots_exits_zero(self, tmp_path, capsys):
+        snap = tmp_path / "a.json"
+        assert cli_main(
+            ["telemetry", "run", "moose", "--scale", "0.2",
+             "--out", str(snap)]
+        ) == 0
+        assert cli_main(
+            ["telemetry", "diff", str(snap), str(snap)]
+        ) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_regression_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"cycles": 1, "scopes": {
+            "cpu": {"site_cache.hits": 90, "site_cache.misses": 10}}}))
+        b.write_text(json.dumps({"cycles": 1, "scopes": {
+            "cpu": {"site_cache.hits": 50, "site_cache.misses": 50}}}))
+        assert cli_main(["telemetry", "diff", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression" in captured.err
+        # The same drop passes under a looser threshold.
+        assert cli_main(
+            ["telemetry", "diff", str(a), str(b), "--threshold", "0.5"]
+        ) == 0

@@ -11,6 +11,10 @@ step-aside (protocol violation) exits, which must behave identically
 because fusion never engages without TF armed by a returning handler.
 """
 
+import heapq
+
+import pytest
+
 from repro.fp.formats import float_to_bits32 as b32
 from repro.fp.formats import float_to_bits64 as b64
 from repro.fpspy import fpspy_env
@@ -320,3 +324,63 @@ class TestFastPathMachinery:
         assert outs["add"] == [b64(6.0)] * 4
         assert outs["mul"] == [b64(9.0)] * 4
         assert pb.exit_code == 0
+
+
+_BAIL_REASONS = ("pending_signal", "quantum", "disposition", "timer")
+
+
+class TestBailoutCounters:
+    """Every fusion bail-out reason increments its dedicated telemetry
+    counter exactly once (white box: ``_maybe_trap`` driven with a
+    crafted task state that isolates one reason per case)."""
+
+    def _armed_kernel(self, *, trap_handler=True):
+        k = Kernel(KernelConfig(trapfast=True, telemetry=True))
+
+        def main():
+            yield IntWork(1)
+
+        proc = k.exec_process(main, env={}, name="bail")
+        if trap_handler:
+            proc.sigaction(Signal.SIGTRAP, lambda s, i, u: None)
+        task = proc.main_task
+        task.trap_flag = True
+        k.cpu._fuse_armed = True
+        return k, task
+
+    @pytest.mark.parametrize("reason", _BAIL_REASONS)
+    def test_reason_counted_exactly_once(self, reason):
+        k, task = self._armed_kernel(trap_handler=(reason != "disposition"))
+        cpu = k.cpu
+        if reason == "pending_signal":
+            task.post_signal(SigInfo(signo=Signal.SIGUSR1))
+        elif reason == "quantum":
+            cpu.step_cost = cpu.step_budget  # slice fully drained
+        elif reason == "timer":
+            # A deadline at/under the precise path's check cycle.
+            heapq.heappush(k._timer_heap, (0, 0, None))
+        cpu._maybe_trap(task)
+        assert cpu._t_bailed.value == 1
+        assert cpu._t_bail_reasons.get(reason) == 1
+        assert cpu._t_fused.value == 0
+        for other in set(_BAIL_REASONS) - {reason}:
+            assert cpu._t_bail_reasons.get(other) == 0
+
+    def test_no_bail_fuses_and_counts_fused(self):
+        k, task = self._armed_kernel()
+        k.cpu._maybe_trap(task)
+        assert k.cpu._t_fused.value == 1
+        assert k.cpu._t_bailed.value == 0
+        assert k.cpu._t_bail_reasons.values == {}
+
+    def test_fused_counter_matches_storm_white_box(self):
+        """The telemetry counter agrees with the monkeypatch count the
+        white-box machinery test establishes: 96 elements / 8 lanes."""
+        kb = KernelBuilder()
+        k = Kernel(KernelConfig(trapfast=True, telemetry=True))
+        k.exec_process(
+            _storm_main(kb, 96), env=fpspy_env("individual"), name="storm"
+        )
+        k.run()
+        assert k.cpu._t_fused.value == 12
+        assert k.cpu._t_signals.get(Signal.SIGTRAP) == 12
