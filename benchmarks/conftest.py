@@ -9,11 +9,23 @@ Benchmarks that need dedicated runs (Figure 6's overhead sweep, Figure
 
 import pytest
 
+from repro.campaign.artifacts import write_json_atomic
 from repro.study.passes import get_study
 
 #: Workload scale for benchmark runs (1.0 = the validated study scale).
 BENCH_SCALE = 1.0
 BENCH_SEED = 1234
+
+
+def write_results(path, payload: dict) -> None:
+    """Publish a BENCH_*.json artifact atomically.
+
+    Benchmarks used to ``write_text`` these directly; an interrupted run
+    (Ctrl-C, OOM-killed CI job) could leave a truncated JSON file that a
+    later tooling pass would misparse.  ``os.replace`` of a fsynced temp
+    file makes the artifact either the old version or the new one.
+    """
+    write_json_atomic(path, payload)
 
 
 @pytest.fixture(scope="session")

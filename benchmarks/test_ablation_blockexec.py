@@ -9,7 +9,6 @@ assert the indistinguishability along with the speedup, then drop the
 numbers in ``BENCH_blockexec.json`` for the perf log.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -17,7 +16,7 @@ from repro.apps import APPLICATIONS
 from repro.fpspy import fpspy_env
 from repro.kernel.kernel import Kernel, KernelConfig
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, write_results
 
 #: Aggregate-mode speedup bar the engine must clear (measured ~8x).
 MIN_SPEEDUP = 5.0
@@ -57,20 +56,17 @@ def test_blockexec_speedup_aggregate_mode(benchmark):
     assert kf.cycles == ks.cycles
     assert state_f == state_s
     speedup = slow / fast
-    RESULTS_JSON.write_text(
-        json.dumps(
-            {
-                "workload": "miniaero",
-                "mode": "aggregate",
-                "scale": ABLATION_SCALE,
-                "scalar_s": round(slow, 4),
-                "blockexec_s": round(fast, 4),
-                "speedup": round(speedup, 2),
-                "cycles": kf.cycles,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_results(
+        RESULTS_JSON,
+        {
+            "workload": "miniaero",
+            "mode": "aggregate",
+            "scale": ABLATION_SCALE,
+            "scalar_s": round(slow, 4),
+            "blockexec_s": round(fast, 4),
+            "speedup": round(speedup, 2),
+            "cycles": kf.cycles,
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"block engine speedup {speedup:.2f}x below {MIN_SPEEDUP}x bar"

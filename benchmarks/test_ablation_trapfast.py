@@ -14,7 +14,6 @@ indistinguishability along with the speedup, then drop the numbers in
 ``BENCH_trapfast.json`` for the perf log.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -23,6 +22,8 @@ from repro.fpspy import fpspy_env
 from repro.guest.program import KernelBuilder
 from repro.isa.semantics import memo_stats
 from repro.kernel.kernel import Kernel, KernelConfig
+
+from benchmarks.conftest import write_results
 
 #: Individual-mode speedup bar the fast path must clear (measured ~6-7x).
 MIN_SPEEDUP = 3.0
@@ -80,21 +81,18 @@ def test_trapfast_speedup_individual_mode(benchmark):
     assert any(p.endswith(".ind") for p in state_f)
     speedup = slow / fast
     stats = memo_stats()
-    RESULTS_JSON.write_text(
-        json.dumps(
-            {
-                "workload": "vfmaddps-storm",
-                "mode": "individual",
-                "elements": STORM_ELEMENTS,
-                "precise_s": round(slow, 4),
-                "trapfast_s": round(fast, 4),
-                "speedup": round(speedup, 2),
-                "cycles": kf.cycles,
-                "softfloat_memo": stats,
-            },
-            indent=2,
-        )
-        + "\n"
+    write_results(
+        RESULTS_JSON,
+        {
+            "workload": "vfmaddps-storm",
+            "mode": "individual",
+            "elements": STORM_ELEMENTS,
+            "precise_s": round(slow, 4),
+            "trapfast_s": round(fast, 4),
+            "speedup": round(speedup, 2),
+            "cycles": kf.cycles,
+            "softfloat_memo": stats,
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"trap-storm fast path speedup {speedup:.2f}x below {MIN_SPEEDUP}x bar"

@@ -1,0 +1,102 @@
+"""Campaign runner scaling: worker sweep plus memo cold/warm A/B.
+
+Two honest measurements of ``repro.campaign`` (DESIGN.md decision #9),
+published to ``BENCH_campaign.json``:
+
+* **Worker sweep** -- the full figure-suite campaign (27 runs: three
+  monitored passes over the nine study targets) executed cold at 1, 2,
+  4, and 8 workers.  Byte-identical merged reports are asserted at every
+  width; the >=2.5x speedup bar at 4 workers is asserted only when the
+  host actually has >=4 CPUs (the numbers are recorded regardless, with
+  ``host_cpus`` alongside, so a 1-core container publishes an honest
+  ~1.0x rather than a vacuous pass).
+* **Memo A/B** -- the same campaign run cold with a fresh persistent
+  softfloat memo cache, then rerun warm from the published cache.  The
+  warm report must stay byte-identical to the cold one (the cache is
+  architecturally invisible) and the warm/cold ratio is recorded.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.campaign import figbench_campaign, run_campaign
+
+from benchmarks.conftest import BENCH_SEED, write_results
+
+#: Worker widths swept; 8 exercises the workers > runs-in-flight regime.
+WORKER_COUNTS = (1, 2, 4, 8)
+#: Speedup bar at 4 workers -- asserted only on hosts with >= 4 CPUs.
+MIN_SPEEDUP_4W = 2.5
+#: Campaign scale: ~3s serial with a ~0.7s critical-path run, so the
+#: sweep finishes quickly while leaving real parallelism to expose.
+CAMPAIGN_SCALE = 0.3
+
+RESULTS_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+
+def test_campaign_scaling_and_memo(benchmark, tmp_path):
+    campaign = figbench_campaign(scale=CAMPAIGN_SCALE, seed=BENCH_SEED)
+    memo = tmp_path / "memo.sqlite"
+
+    def sweep():
+        timings = {}
+        reports = {}
+        for w in WORKER_COUNTS:
+            t0 = time.perf_counter()
+            result = run_campaign(campaign, workers=w)
+            timings[w] = time.perf_counter() - t0
+            reports[w] = result.report_text
+            assert not result.failed
+        # The A/B runs single-worker so the memo effect is isolated from
+        # sharding (every worker pays its own warm-start load).
+        t0 = time.perf_counter()
+        cold = run_campaign(campaign, workers=1, memo_path=memo)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_campaign(campaign, workers=1, memo_path=memo)
+        warm_s = time.perf_counter() - t0
+        return timings, reports, cold, cold_s, warm, warm_s
+
+    timings, reports, cold, cold_s, warm, warm_s = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    # The determinism contract: one report, any worker count, cache or no.
+    for w in WORKER_COUNTS[1:]:
+        assert reports[w] == reports[1], f"report at {w} workers diverged"
+    assert cold.report_text == reports[1]
+    assert warm.report_text == cold.report_text
+
+    # The warm rerun must actually start from the published cache.
+    warm_workers = warm.host["memo"]["per_worker"].values()
+    assert warm_workers and all(
+        info["memo_status"] == "ok" and info["warm_loaded"] > 0
+        for info in warm_workers
+    )
+
+    host_cpus = os.cpu_count() or 1
+    speedup_4w = round(timings[1] / timings[4], 2)
+    warm_ratio = round(cold_s / warm_s, 2)
+    write_results(
+        RESULTS_JSON,
+        {
+            "campaign": campaign.name,
+            "runs": len(campaign.runs),
+            "scale": CAMPAIGN_SCALE,
+            "seed": BENCH_SEED,
+            "host_cpus": host_cpus,
+            "workers_s": {str(w): round(t, 4) for w, t in timings.items()},
+            "speedup_4w": speedup_4w,
+            "memo_cold_s": round(cold_s, 4),
+            "memo_warm_s": round(warm_s, 4),
+            "memo_warm_ratio": warm_ratio,
+            "memo_published_entries": (
+                cold.host["memo"]["published_entries"]),
+        },
+    )
+    if host_cpus >= 4:
+        assert speedup_4w >= MIN_SPEEDUP_4W, (
+            f"4-worker speedup {speedup_4w}x below {MIN_SPEEDUP_4W}x bar "
+            f"on a {host_cpus}-cpu host"
+        )

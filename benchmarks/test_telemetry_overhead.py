@@ -17,7 +17,6 @@ The zero-perturbation invariant (cycles/traces byte-identical either
 way) is asserted here too, on the benchmark-sized workload.
 """
 
-import json
 import time
 import timeit
 from pathlib import Path
@@ -28,7 +27,7 @@ from repro.kernel.kernel import Kernel, KernelConfig
 from repro.telemetry import NULL_BUS
 from repro.telemetry.procfs import PROC_ROOT
 
-from benchmarks.conftest import BENCH_SEED
+from benchmarks.conftest import BENCH_SEED, write_results
 
 #: Guard executions assumed per CPU step -- a deliberate overcount (the
 #: real hot paths run ~5: block gate, trap checks, delivery, site cache).
@@ -94,26 +93,23 @@ def test_telemetry_overhead(benchmark):
     disabled_pct = 100.0 * GUARDS_PER_STEP * prof.steps * per_guard / t_off
     enabled_pct = 100.0 * (t_on - t_off) / t_off
 
-    RESULTS_JSON.write_text(
-        json.dumps(
-            {
-                "workload": "miniaero",
-                "mode": "individual",
-                "scale": ABLATION_SCALE,
-                "disabled_s": round(t_off, 4),
-                "enabled_s": round(t_on, 4),
-                "enabled_overhead_pct": round(enabled_pct, 2),
-                "disabled_guard_overhead_pct": round(disabled_pct, 4),
-                "guard_cost_ns": round(per_guard * 1e9, 2),
-                "steps": prof.steps,
-                "cycles": k_on.cycles,
-                "profile": {
-                    k: round(v, 6) for k, v in prof.report().items()
-                },
+    write_results(
+        RESULTS_JSON,
+        {
+            "workload": "miniaero",
+            "mode": "individual",
+            "scale": ABLATION_SCALE,
+            "disabled_s": round(t_off, 4),
+            "enabled_s": round(t_on, 4),
+            "enabled_overhead_pct": round(enabled_pct, 2),
+            "disabled_guard_overhead_pct": round(disabled_pct, 4),
+            "guard_cost_ns": round(per_guard * 1e9, 2),
+            "steps": prof.steps,
+            "cycles": k_on.cycles,
+            "profile": {
+                k: round(v, 6) for k, v in prof.report().items()
             },
-            indent=2,
-        )
-        + "\n"
+        },
     )
     # The tier-1 promise; the enabled-mode delta is reported, not gated
     # (it includes the self-profiler's perf_counter pairs here).

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Callable, Generator, Iterable, Sequence
 
@@ -39,7 +40,11 @@ class SimApp(GuestProgram):
         self.seed = seed
         self.kb = KernelBuilder()
         self.rng = random.Random(f"{self.name}:{seed}")
-        self.nprng = np.random.default_rng(abs(hash(f"{self.name}:{seed}")) % 2**32)
+        # hashlib, not hash(): builtin str hashing is salted per process
+        # (PYTHONHASHSEED), which would give every worker process its own
+        # operand stream and silently defeat the cross-run memo cache.
+        digest = hashlib.sha256(f"{self.name}:{seed}".encode()).digest()
+        self.nprng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
         self._build_sites()
 
     # Subclasses allocate their static code sites here so addresses are

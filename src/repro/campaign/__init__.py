@@ -1,0 +1,58 @@
+"""``repro.campaign``: the parallel campaign runner.
+
+FPSpy's evaluation is a *campaign*: dozens of independent spy runs
+(seven apps, the PARSEC/NAS suites, aggregate/individual modes,
+sampling configurations) whose only shared state is the final report.
+This package shards such campaigns across host worker processes with a
+deterministic spec-order merge -- the merged report is byte-identical
+for any ``--workers`` value -- and persists the cross-run softfloat
+memo cache so repeated campaigns (CI, figure regeneration) skip
+recomputing the results that dominate guest cycles.
+
+Entry points: ``python -m repro.study campaign run/status`` on the
+command line, :func:`run_campaign` / :class:`CampaignRunner` from code,
+and :func:`~repro.campaign.worker.execute_run` for single in-process
+runs (tests, notebooks).
+"""
+
+from repro.campaign.artifacts import (
+    write_bytes_atomic,
+    write_json_atomic,
+    write_text_atomic,
+)
+from repro.campaign.report import (
+    CampaignResult,
+    ResultAccumulator,
+    merge_outcomes,
+    render_report,
+)
+from repro.campaign.runner import CampaignRunner, run_campaign
+from repro.campaign.spec import (
+    BUILTIN_CAMPAIGNS,
+    CampaignSpec,
+    RunSpec,
+    build_campaign,
+    figbench_campaign,
+    smoke_campaign,
+)
+from repro.campaign.worker import RunOutcome, execute_run
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultAccumulator",
+    "RunOutcome",
+    "RunSpec",
+    "build_campaign",
+    "execute_run",
+    "figbench_campaign",
+    "merge_outcomes",
+    "render_report",
+    "run_campaign",
+    "smoke_campaign",
+    "write_bytes_atomic",
+    "write_json_atomic",
+    "write_text_atomic",
+]

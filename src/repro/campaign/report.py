@@ -1,0 +1,179 @@
+"""Deterministic campaign result merge and report rendering.
+
+The merge contract (DESIGN.md decision #9): the merged campaign report
+is a pure function of ``(campaign spec, per-run outcomes)``, assembled
+in **spec order**.  Workers may finish in any order and in any
+interleaving, so the coordinator accumulates outcomes keyed by run
+index and only renders once everything is resolved -- which makes the
+report byte-identical for any worker count, enforced by
+``tests/property/test_campaign_props.py`` and the scaling benchmark.
+
+Two output sections are kept strictly apart:
+
+* the **deterministic** section (report text + ``deterministic`` dict):
+  only architecturally-determined data -- simulated cycles and times,
+  event inventories, record counts, trace digests;
+* the **host** section: wall-clock timings, worker count, retries, memo
+  cache statistics, and the merged telemetry snapshot -- everything that
+  legitimately varies between hosts, worker counts, and cache states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import RunOutcome
+from repro.fp.flags import EVENT_ORDER
+
+
+@dataclass
+class CampaignResult:
+    """A fully merged campaign."""
+
+    campaign: CampaignSpec
+    outcomes: list[RunOutcome]  #: spec order, one per run
+    report_text: str
+    deterministic: dict
+    host: dict
+
+    @property
+    def failed(self) -> list[RunOutcome]:
+        return [o for o in self.outcomes if o.status != "ok"]
+
+    def to_dict(self) -> dict:
+        return {"deterministic": self.deterministic, "host": self.host}
+
+
+class ResultAccumulator:
+    """Order-insensitive collection point for run outcomes.
+
+    Both the real multiprocessing coordinator and the in-process test
+    harnesses feed this; it is the single place outcomes meet, so the
+    determinism property is a property of this class plus
+    :func:`merge_outcomes`, not of any particular execution strategy.
+    """
+
+    def __init__(self, campaign: CampaignSpec) -> None:
+        self.campaign = campaign
+        self._by_index: dict[int, RunOutcome] = {}
+
+    def add(self, outcome: RunOutcome) -> None:
+        if outcome.index in self._by_index:
+            raise ValueError(f"duplicate outcome for run {outcome.index}")
+        if not 0 <= outcome.index < len(self.campaign.runs):
+            raise ValueError(f"outcome index {outcome.index} out of range")
+        self._by_index[outcome.index] = outcome
+
+    @property
+    def done(self) -> int:
+        return len(self._by_index)
+
+    def failed_so_far(self) -> list[int]:
+        return sorted(
+            i for i, o in self._by_index.items() if o.status != "ok")
+
+    @property
+    def complete(self) -> bool:
+        return len(self._by_index) == len(self.campaign.runs)
+
+    def merge(self, host: dict | None = None) -> CampaignResult:
+        if not self.complete:
+            missing = sorted(
+                set(range(len(self.campaign.runs))) - set(self._by_index))
+            raise ValueError(f"campaign incomplete; missing runs {missing}")
+        outcomes = [self._by_index[i] for i in range(len(self.campaign.runs))]
+        return merge_outcomes(self.campaign, outcomes, host=host)
+
+
+def merge_outcomes(
+    campaign: CampaignSpec,
+    outcomes: list[RunOutcome],
+    host: dict | None = None,
+) -> CampaignResult:
+    """Build the merged result from spec-ordered outcomes."""
+    deterministic = {
+        "campaign": campaign.name,
+        "spec_hash": campaign.spec_hash,
+        "runs": [_deterministic_run(o) for o in outcomes],
+        "event_union": _event_union(outcomes),
+        "total_cycles": sum(o.cycles for o in outcomes),
+        "total_individual_records": sum(
+            o.individual_records for o in outcomes),
+    }
+    host_section = dict(host or {})
+    host_section.setdefault("retries", 0)
+    host_section["run_host_seconds"] = [
+        round(o.host_seconds, 6) for o in outcomes]
+    host_section["attempts"] = [o.attempts for o in outcomes]
+    telem = [o.telemetry for o in outcomes if o.telemetry is not None]
+    if telem:
+        from repro.telemetry.snapshot import merge_snapshots
+
+        host_section["telemetry"] = merge_snapshots(telem)
+    return CampaignResult(
+        campaign=campaign,
+        outcomes=list(outcomes),
+        report_text=render_report(campaign, outcomes),
+        deterministic=deterministic,
+        host=host_section,
+    )
+
+
+def _deterministic_run(o: RunOutcome) -> dict:
+    return {
+        "index": o.index,
+        "label": o.label,
+        "status": o.status,
+        "error": o.error,
+        "cycles": o.cycles,
+        "wall_seconds": round(o.wall_seconds, 9),
+        "user_seconds": round(o.user_seconds, 9),
+        "system_seconds": round(o.system_seconds, 9),
+        "killed": o.killed,
+        "events": list(o.events),
+        "aggregate_records": o.aggregate_records,
+        "individual_records": o.individual_records,
+        "trace_digest": [list(t) for t in o.trace_digest],
+    }
+
+
+def _event_union(outcomes: list[RunOutcome]) -> list[str]:
+    seen = {e for o in outcomes for e in o.events}
+    return [e for e in EVENT_ORDER if e in seen]
+
+
+def render_report(campaign: CampaignSpec, outcomes: list[RunOutcome]) -> str:
+    """The human-readable merged report (deterministic bytes)."""
+    width = max([len(o.label) for o in outcomes] + [5])
+    lines = [
+        f"== campaign {campaign.name} ==",
+        f"spec-hash {campaign.spec_hash}  runs {len(outcomes)}",
+        "",
+        f"{'idx':>4s}  {'label':<{width}s}  {'status':<7s} "
+        f"{'cycles':>12s} {'sim_ms':>10s} {'agg':>5s} {'ind':>8s}  events",
+    ]
+    for o in outcomes:
+        events = ",".join(o.events) or "-"
+        lines.append(
+            f"{o.index:>4d}  {o.label:<{width}s}  {o.status:<7s} "
+            f"{o.cycles:>12d} {o.wall_seconds * 1e3:>10.3f} "
+            f"{o.aggregate_records:>5d} {o.individual_records:>8d}  {events}"
+        )
+    failed = [o for o in outcomes if o.status != "ok"]
+    lines.append("")
+    lines.append("trace files:")
+    for o in outcomes:
+        for path, size, digest in o.trace_digest:
+            lines.append(
+                f"  {o.index:>4d}  {path:<40s} {size:>9d}B  "
+                f"sha256={digest[:16]}")
+    lines.append("")
+    lines.append(f"event union: {','.join(_event_union(outcomes)) or '-'}")
+    lines.append(f"total cycles: {sum(o.cycles for o in outcomes)}")
+    if failed:
+        lines.append("")
+        lines.append(f"FAILED runs ({len(failed)}):")
+        for o in failed:
+            lines.append(f"  {o.index:>4d}  {o.label}: {o.error}")
+    return "\n".join(lines) + "\n"

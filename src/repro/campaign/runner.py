@@ -1,0 +1,292 @@
+"""The campaign coordinator: shard runs across worker processes.
+
+Design (DESIGN.md decision #9):
+
+* **Processes, not threads.**  A spy run is pure Python executing a
+  simulated machine -- the GIL serializes threads, so real speedup
+  needs host processes.  Workers are spawned (never forked): each gets
+  a pristine interpreter, which doubles as the isolation boundary that
+  makes retry-on-a-fresh-worker meaningful.
+* **Work queue, deterministic merge.**  Each worker has its own task
+  queue and the coordinator assigns run indices one at a time, so a
+  slow run never convoys work behind it.  Results stream back over one
+  shared queue in completion order and are merged **in spec order**
+  (:class:`~repro.campaign.report.ResultAccumulator`), so the merged
+  report is byte-identical for any ``--workers`` value.
+* **Failure isolation.**  A run that crashes its worker (exception,
+  hard exit) is retried exactly once on a freshly spawned worker, then
+  recorded as a structured failure; the campaign always completes.
+* **Persistent memo cache.**  Workers warm-start the softfloat memo
+  from the campaign's cache file and publish their deltas at clean
+  shutdown; the coordinator folds deltas (in worker-id order) back into
+  the file atomically, so repeated campaigns skip recomputing the
+  softfloat results that dominate guest cycles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import time
+from dataclasses import dataclass
+
+from repro.campaign.artifacts import write_json_atomic, write_text_atomic
+from repro.campaign.report import CampaignResult, ResultAccumulator
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import RunOutcome, worker_main
+
+#: First try plus one retry on a fresh worker.
+MAX_ATTEMPTS = 2
+
+STATUS_FILE = "status.json"
+REPORT_FILE = "campaign_report.txt"
+RESULT_FILE = "campaign.json"
+
+
+@dataclass
+class _Worker:
+    id: int
+    proc: object
+    task_q: object
+    assigned: int | None = None
+    dead: bool = False
+    said_bye: bool = False
+
+
+class CampaignRunner:
+    """Run a :class:`CampaignSpec` across ``workers`` host processes."""
+
+    def __init__(
+        self,
+        campaign: CampaignSpec,
+        workers: int | None = None,
+        memo_path: str | os.PathLike | None = None,
+        out_dir: str | os.PathLike | None = None,
+        poll_seconds: float = 0.2,
+    ) -> None:
+        self.campaign = campaign
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 1))
+        self.memo_path = os.fspath(memo_path) if memo_path else None
+        self.out_dir = os.fspath(out_dir) if out_dir else None
+        self.poll_seconds = poll_seconds
+
+    # ------------------------------------------------------------ run
+
+    def run(self) -> CampaignResult:
+        t_start = time.perf_counter()
+        campaign = self.campaign
+        n = len(campaign.runs)
+        acc = ResultAccumulator(campaign)
+        if n == 0:
+            return acc.merge(host=self._host_stats(0, 0, {}, {}, 0, t_start))
+
+        ctx = multiprocessing.get_context("spawn")
+        result_q = ctx.Queue()
+        campaign_json = campaign.to_json()
+        target_workers = min(self.workers, n)
+
+        from collections import deque
+
+        pending: deque[int] = deque(range(n))
+        attempts = [0] * n
+        retries = 0
+        workers: dict[int, _Worker] = {}
+        ready_info: dict[int, dict] = {}
+        deltas: dict[int, dict] = {}
+        next_id = 0
+        last_status: tuple | None = None
+
+        def spawn() -> None:
+            nonlocal next_id
+            wid = next_id
+            next_id += 1
+            task_q = ctx.Queue()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(wid, campaign_json, task_q, result_q, self.memo_path),
+                daemon=True,
+            )
+            proc.start()
+            workers[wid] = _Worker(id=wid, proc=proc, task_q=task_q)
+
+        def alive_workers() -> list[_Worker]:
+            return [w for w in workers.values()
+                    if not w.dead and w.proc.is_alive()]
+
+        def resolve_death(w: _Worker, error: str) -> None:
+            """A worker died (crash message or silently): retry or fail."""
+            nonlocal retries
+            w.dead = True
+            idx = w.assigned
+            w.assigned = None
+            if idx is None:
+                pass
+            elif attempts[idx] >= MAX_ATTEMPTS:
+                acc.add(RunOutcome(
+                    index=idx,
+                    label=campaign.runs[idx].label,
+                    status="failed",
+                    attempts=attempts[idx],
+                    error=error,
+                ))
+            else:
+                retries += 1
+                pending.appendleft(idx)
+            # Keep enough fresh workers to drain the remaining work.
+            if pending and len(alive_workers()) < min(target_workers,
+                                                      len(pending)):
+                spawn()
+
+        def dispatch() -> None:
+            for w in workers.values():
+                if not pending:
+                    return
+                if w.assigned is None and not w.dead and w.proc.is_alive():
+                    idx = pending.popleft()
+                    attempts[idx] += 1
+                    w.assigned = idx
+                    w.task_q.put(idx)
+
+        def write_status(state: str) -> None:
+            nonlocal last_status
+            if self.out_dir is None:
+                return
+            failed = acc.failed_so_far()
+            key = (state, acc.done, retries, tuple(failed))
+            if key == last_status:
+                return
+            last_status = key
+            write_json_atomic(os.path.join(self.out_dir, STATUS_FILE), {
+                "campaign": campaign.name,
+                "spec_hash": campaign.spec_hash,
+                "state": state,
+                "total": n,
+                "done": acc.done,
+                "failed": failed,
+                "retries": retries,
+                "workers": self.workers,
+                "spawned_workers": next_id,
+                "updated_unix": round(time.time(), 3),
+            })
+
+        for _ in range(target_workers):
+            spawn()
+
+        try:
+            while not acc.complete:
+                dispatch()
+                write_status("running")
+                try:
+                    msg = result_q.get(timeout=self.poll_seconds)
+                except queue.Empty:
+                    # No message in flight: any dead worker with an
+                    # unresolved assignment died silently.
+                    for w in list(workers.values()):
+                        if not w.dead and not w.proc.is_alive():
+                            resolve_death(
+                                w, "worker process died without a report")
+                    continue
+                kind, wid = msg[0], msg[1]
+                w = workers[wid]
+                if kind == "ready":
+                    ready_info[wid] = {
+                        "memo_status": msg[2], "warm_loaded": msg[3]}
+                elif kind == "run":
+                    outcome = msg[2]
+                    outcome.attempts = attempts[outcome.index]
+                    acc.add(outcome)
+                    w.assigned = None
+                elif kind == "crash":
+                    _, _, idx, error = msg
+                    if w.assigned != idx:  # pragma: no cover - defensive
+                        w.assigned = idx
+                    resolve_death(w, error)
+                elif kind == "delta":
+                    deltas[wid] = msg[2]
+                elif kind == "bye":
+                    w.said_bye = True
+
+            # All runs resolved: ask live workers to shut down cleanly
+            # and publish their memo deltas.
+            for w in alive_workers():
+                w.task_q.put(None)
+            deadline = time.monotonic() + 60.0
+            while (any(not w.said_bye for w in alive_workers())
+                   and time.monotonic() < deadline):
+                try:
+                    msg = result_q.get(timeout=self.poll_seconds)
+                except queue.Empty:
+                    continue
+                kind, wid = msg[0], msg[1]
+                if kind == "delta":
+                    deltas[wid] = msg[2]
+                elif kind == "bye":
+                    workers[wid].said_bye = True
+                elif kind == "ready":
+                    ready_info[wid] = {
+                        "memo_status": msg[2], "warm_loaded": msg[3]}
+        finally:
+            for w in workers.values():
+                if w.proc.is_alive():
+                    w.proc.join(timeout=5.0)
+                if w.proc.is_alive():  # pragma: no cover - stuck worker
+                    w.proc.terminate()
+                    w.proc.join(timeout=5.0)
+
+        published = 0
+        if self.memo_path and deltas:
+            from repro.fp.memodisk import merge_into_cache
+
+            published = merge_into_cache(
+                self.memo_path, [deltas[wid] for wid in sorted(deltas)])
+
+        host = self._host_stats(
+            next_id, retries, ready_info, deltas, published, t_start)
+        result = acc.merge(host=host)
+        write_status("done")
+        if self.out_dir is not None:
+            write_text_atomic(
+                os.path.join(self.out_dir, REPORT_FILE), result.report_text)
+            write_json_atomic(
+                os.path.join(self.out_dir, RESULT_FILE), result.to_dict())
+        return result
+
+    # ------------------------------------------------------- internals
+
+    def _host_stats(
+        self,
+        spawned: int,
+        retries: int,
+        ready_info: dict[int, dict],
+        deltas: dict[int, dict],
+        published: int,
+        t_start: float,
+    ) -> dict:
+        return {
+            "workers": self.workers,
+            "spawned_workers": spawned,
+            "retries": retries,
+            "host_wall_seconds": round(time.perf_counter() - t_start, 6),
+            "memo": {
+                "path": self.memo_path,
+                "per_worker": {
+                    str(wid): info for wid, info in sorted(ready_info.items())
+                },
+                "delta_entries": sum(len(d) for d in deltas.values()),
+                "published_entries": published,
+            },
+        }
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    workers: int | None = None,
+    memo_path: str | os.PathLike | None = None,
+    out_dir: str | os.PathLike | None = None,
+) -> CampaignResult:
+    """Convenience one-shot wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(
+        campaign, workers=workers, memo_path=memo_path, out_dir=out_dir,
+    ).run()

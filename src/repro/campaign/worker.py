@@ -1,0 +1,172 @@
+"""Campaign worker: executes run specs in isolated simulated kernels.
+
+``worker_main`` is the spawn entry point.  Each worker process:
+
+1. warm-starts the process-global softfloat memo from the persistent
+   cache file (if the campaign has one);
+2. pulls run indices off its task queue, executes each in a **fresh**
+   :class:`~repro.kernel.kernel.Kernel` (no simulated state crosses
+   runs -- only the host-side memo, which is architecturally invisible),
+   and streams a compact, picklable :class:`RunOutcome` back;
+3. on a clean shutdown, publishes its memo *delta* (entries it computed
+   beyond the warm start) so the coordinator can fold it into the cache.
+
+Failure isolation is deliberate: any exception escaping a run is
+treated as poisoning the worker, which reports a ``crash`` message and
+exits.  The coordinator retries the run once on a fresh worker and then
+records a structured failure -- one bad spec can never sink a campaign,
+and a wedged interpreter can never contaminate later runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.campaign.spec import PASS_NAMES, CampaignSpec, RunSpec
+
+
+@dataclass
+class RunOutcome:
+    """Everything one run contributes to the merged campaign report.
+
+    Every field except ``host_seconds``, ``attempts``, and ``telemetry``
+    is a pure function of the spec: the report builder keeps those three
+    out of the deterministic section.
+    """
+
+    index: int
+    label: str
+    status: str  #: "ok" | "failed"
+    attempts: int = 1
+    error: str | None = None
+    cycles: int = 0
+    wall_seconds: float = 0.0  #: simulated
+    user_seconds: float = 0.0
+    system_seconds: float = 0.0
+    host_seconds: float = 0.0  #: host wall-clock cost of the run
+    killed: bool = False  #: any guest process died to a fatal signal
+    events: tuple[str, ...] = ()  #: event inventory, table order
+    aggregate_records: int = 0
+    individual_records: int = 0
+    #: ``(path, size_bytes, sha256 hex)`` per trace file, path-sorted.
+    trace_digest: tuple[tuple[str, int, str], ...] = ()
+    #: Typed telemetry snapshot (``snapshot_typed``) when enabled.
+    telemetry: dict | None = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def execute_run(index: int, spec: RunSpec) -> RunOutcome:
+    """Execute one run spec in a fresh simulated kernel (in-process).
+
+    Raises on an invalid spec or a simulator bug; the caller decides
+    whether that is a test failure (direct use) or a worker crash
+    (campaign use).
+    """
+    from repro.fp.flags import flags_to_events
+    from repro.kernel.kernel import Kernel, KernelConfig
+    from repro.study.passes import pass_env
+    from repro.study.targets import make_targets
+    from repro.telemetry.procfs import PROC_ROOT
+    from repro.trace.reader import TraceSet
+
+    targets = make_targets()
+    if spec.app not in targets:
+        raise ValueError(
+            f"unknown campaign target {spec.app!r}; "
+            f"choose from {sorted(targets)}")
+    if spec.mode not in PASS_NAMES:
+        raise ValueError(
+            f"unknown campaign pass {spec.mode!r}; choose from {PASS_NAMES}")
+
+    env = pass_env(spec.mode)
+    kernel = Kernel(KernelConfig(
+        blockexec=spec.blockexec,
+        trapfast=spec.trapfast,
+        telemetry=spec.telemetry,
+    ))
+    t0 = time.perf_counter()
+    targets[spec.app].launch(kernel, env, spec.scale, spec.variant, spec.seed)
+    kernel.run()
+    host_seconds = time.perf_counter() - t0
+
+    procs = list(kernel.processes.values())
+    freq = kernel.config.freq_hz
+    user = sum(t.utime_cycles for p in procs for t in p.tasks.values()) / freq
+    system = sum(t.stime_cycles for p in procs for t in p.tasks.values()) / freq
+
+    traces = TraceSet.from_vfs(kernel.vfs)
+    digest = []
+    for path in kernel.vfs.listdir(""):
+        if path.startswith(PROC_ROOT):
+            continue  # synthetic introspection files are not run output
+        data = kernel.vfs.read(path)
+        digest.append((path, len(data), hashlib.sha256(data).hexdigest()))
+
+    return RunOutcome(
+        index=index,
+        label=spec.label,
+        status="ok",
+        cycles=kernel.cycles,
+        wall_seconds=kernel.now_seconds,
+        user_seconds=user,
+        system_seconds=system,
+        host_seconds=host_seconds,
+        killed=any(p.killed_by is not None for p in procs),
+        events=tuple(flags_to_events(traces.event_union())),
+        aggregate_records=len(traces.aggregate),
+        individual_records=traces.count(),
+        trace_digest=tuple(sorted(digest)),
+        telemetry=(
+            kernel.telemetry.snapshot_typed() if spec.telemetry else None),
+    )
+
+
+def worker_main(
+    worker_id: int,
+    campaign_json: str,
+    task_q,
+    result_q,
+    memo_path: str | None,
+) -> None:
+    """Spawn entry point: drain the task queue, stream outcomes back.
+
+    Messages on ``result_q`` (all picklable tuples):
+
+    * ``("ready", worker_id, memo_status, warm_loaded)``
+    * ``("run", worker_id, RunOutcome)``
+    * ``("crash", worker_id, index, error_str)`` -- then the process exits
+    * ``("delta", worker_id, {memo key: result})``
+    * ``("bye", worker_id)``
+    """
+    campaign = CampaignSpec.from_json(campaign_json)
+
+    memo_status, warm_loaded = "off", 0
+    if memo_path:
+        from repro.isa.semantics import warm_start_memo
+
+        report = warm_start_memo(memo_path)
+        memo_status, warm_loaded = report.status, report.loaded
+    result_q.put(("ready", worker_id, memo_status, warm_loaded))
+
+    while True:
+        index = task_q.get()
+        if index is None:
+            break
+        try:
+            outcome = execute_run(index, campaign.runs[index])
+        except BaseException as exc:  # poisoned spec: isolate by dying
+            result_q.put(
+                ("crash", worker_id, index,
+                 f"{type(exc).__name__}: {exc}"))
+            return
+        result_q.put(("run", worker_id, outcome))
+
+    if memo_path:
+        from repro.isa.semantics import export_memo_delta
+
+        result_q.put(("delta", worker_id, export_memo_delta()))
+    result_q.put(("bye", worker_id))

@@ -1,0 +1,338 @@
+"""Persistent cross-run storage for :class:`repro.fp.memo.MemoSoftFPU`.
+
+Softfloat results are pure functions of ``(op, format, operand bits,
+FP context)`` and dominate guest cycles in trap-heavy runs, so a
+campaign that re-executes the same workloads (CI, figure regeneration)
+recomputes the exact same results every time.  This module gives the
+memo layer a disk form: a small sqlite database mapping encoded memo
+keys to encoded results, so a fresh worker process can *warm-start* its
+in-memory cache and skip straight to dict probes.
+
+Safety over cleverness:
+
+* **Schema hash.**  The file is only trusted when its stored schema
+  hash matches :data:`SCHEMA_HASH`, which is derived at import time from
+  the *live* dataclass field lists and enum member tables of every type
+  that crosses the encoding (``BinaryFormat``, ``FPContext``,
+  ``OpResult``, ``Flag``, ``RoundingMode``) plus the codec version.  Any
+  refactor that changes what a cache entry means changes the hash, and
+  stale caches are rejected wholesale -- a silent wrong-bits hit is the
+  one failure mode this layer must never have.
+* **Corruption is a cold start.**  A truncated, garbage, or
+  wrong-format file loads as zero entries with a status string, never an
+  exception; the campaign runner reports it and runs cold.
+* **Atomic replace.**  The database is always rebuilt at a temp path
+  and moved over the old file with ``os.replace``, so readers see
+  either the old complete cache or the new complete cache.
+
+The value/key codec is a tagged JSON form (tuples of primitives,
+formats, and contexts) rather than pickle: the encoding is explicit,
+versioned, and cannot execute anything on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sqlite3
+import tempfile
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.fp.flags import Flag
+from repro.fp.formats import BinaryFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.softfloat import FPContext, OpResult
+
+#: Bump when the key/value encoding itself changes shape.
+CODEC_VERSION = 1
+
+#: Hard cap on entries ever written to one cache file (a few hundred MB
+#: of softfloat results would mean something upstream is broken).
+MAX_FILE_ENTRIES = 1 << 18
+
+
+def _schema_descriptor() -> str:
+    """Canonical description of every type the codec round-trips."""
+    parts = [
+        f"codec={CODEC_VERSION}",
+        "binaryformat=" + ",".join(
+            f.name for f in dataclasses.fields(BinaryFormat)),
+        "fpcontext=" + ",".join(
+            f.name for f in dataclasses.fields(FPContext)),
+        "opresult=" + ",".join(
+            f.name for f in dataclasses.fields(OpResult)),
+        "flag=" + ",".join(
+            f"{n}:{int(v)}" for n, v in sorted(Flag.__members__.items())),
+        "rounding=" + ",".join(
+            f"{n}:{int(v)}"
+            for n, v in sorted(RoundingMode.__members__.items())),
+    ]
+    return ";".join(parts)
+
+
+#: The schema hash stored in (and demanded of) every cache file.
+SCHEMA_HASH: str = hashlib.sha256(_schema_descriptor().encode()).hexdigest()
+
+
+# ------------------------------------------------------------- codec
+
+def _encode_item(x: object) -> list:
+    # bool and the enums subclass int: order of the isinstance checks is
+    # load-bearing.
+    if isinstance(x, str):
+        return ["s", x]
+    if isinstance(x, bool):
+        return ["b", int(x)]
+    if isinstance(x, RoundingMode):
+        return ["r", int(x)]
+    if isinstance(x, Flag):
+        return ["g", int(x)]
+    if isinstance(x, int):
+        return ["i", x]
+    if x is None:
+        return ["n"]
+    if isinstance(x, BinaryFormat):
+        return ["f", x.name, x.width, x.p, x.emax]
+    if isinstance(x, FPContext):
+        return ["c", int(x.rmode), int(x.ftz), int(x.daz)]
+    raise TypeError(f"cannot encode memo key item {x!r}")
+
+
+# Decoded formats/contexts are interned so a warm-started cache does not
+# hold thousands of equal-but-distinct frozen dataclass instances.
+_FMT_INTERN: dict[tuple, BinaryFormat] = {}
+_CTX_INTERN: dict[tuple, FPContext] = {}
+
+
+def _decode_item(item: list) -> object:
+    tag = item[0]
+    if tag == "s":
+        return item[1]
+    if tag == "b":
+        return bool(item[1])
+    if tag == "r":
+        return RoundingMode(item[1])
+    if tag == "g":
+        return Flag(item[1])
+    if tag == "i":
+        return item[1]
+    if tag == "n":
+        return None
+    if tag == "f":
+        key = (item[1], item[2], item[3], item[4])
+        fmt = _FMT_INTERN.get(key)
+        if fmt is None:
+            fmt = _FMT_INTERN[key] = BinaryFormat(
+                name=item[1], width=item[2], p=item[3], emax=item[4])
+        return fmt
+    if tag == "c":
+        key = (item[1], item[2], item[3])
+        ctx = _CTX_INTERN.get(key)
+        if ctx is None:
+            ctx = _CTX_INTERN[key] = FPContext(
+                rmode=RoundingMode(item[1]), ftz=bool(item[2]),
+                daz=bool(item[3]))
+        return ctx
+    raise ValueError(f"unknown memo codec tag {tag!r}")
+
+
+def encode_key(key: tuple) -> bytes:
+    return json.dumps(
+        [_encode_item(x) for x in key], separators=(",", ":")).encode()
+
+
+def decode_key(blob: bytes) -> tuple:
+    # .decode() first: json.loads on bytes re-runs encoding detection
+    # per call, which is measurable over a 40k-entry warm start.
+    return tuple([_decode_item(item) for item in json.loads(blob.decode())])
+
+
+def encode_value(value: object) -> bytes:
+    if isinstance(value, OpResult):
+        payload = ["o", value.bits, int(value.flags), int(value.tiny)]
+    elif isinstance(value, tuple) and len(value) == 2:
+        payload = ["t", value[0], int(value[1])]
+    else:
+        raise TypeError(f"cannot encode memo value {value!r}")
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def decode_value(blob: bytes) -> object:
+    item = json.loads(blob.decode())
+    tag = item[0]
+    if tag == "o":
+        return OpResult(bits=item[1], flags=Flag(item[2]), tiny=bool(item[3]))
+    if tag == "t":
+        return (item[1], Flag(item[2]))
+    raise ValueError(f"unknown memo value tag {tag!r}")
+
+
+# ------------------------------------------------------------ storage
+
+@dataclass
+class LoadReport:
+    """Outcome of :func:`load_cache`."""
+
+    entries: dict
+    #: "ok" | "absent" | "schema-mismatch" | "corrupt"
+    status: str
+
+    @property
+    def loaded(self) -> int:
+        return len(self.entries)
+
+
+def _open_ro(path: str) -> sqlite3.Connection:
+    # Opening via URI with mode=ro refuses to create an empty database
+    # where none existed (the default connect would).
+    return sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+
+
+def load_cache(path: str | os.PathLike, limit: int | None = None) -> LoadReport:
+    """Load a cache file into live-typed ``{key tuple: result}`` entries.
+
+    Never raises on a bad file: an absent path, a schema-hash mismatch,
+    or any corruption (sqlite errors, undecodable rows) yields an empty
+    report with the reason in ``status``.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return LoadReport(entries={}, status="absent")
+    try:
+        con = _open_ro(path)
+    except sqlite3.Error:
+        return LoadReport(entries={}, status="corrupt")
+    try:
+        try:
+            row = con.execute(
+                "SELECT value FROM meta WHERE key='schema_hash'").fetchone()
+        except sqlite3.Error:
+            return LoadReport(entries={}, status="corrupt")
+        if row is None or row[0] != SCHEMA_HASH:
+            return LoadReport(entries={}, status="schema-mismatch")
+        entries: dict = {}
+        try:
+            cursor = con.execute("SELECT key, value FROM entries ORDER BY rowid")
+            for kblob, vblob in cursor:
+                entries[decode_key(kblob)] = decode_value(vblob)
+                if limit is not None and len(entries) >= limit:
+                    break
+        except (sqlite3.Error, ValueError, TypeError, KeyError,
+                json.JSONDecodeError, UnicodeDecodeError):
+            return LoadReport(entries={}, status="corrupt")
+        return LoadReport(entries=entries, status="ok")
+    finally:
+        con.close()
+
+
+def save_cache(
+    path: str | os.PathLike,
+    entries: Mapping,
+    max_entries: int = MAX_FILE_ENTRIES,
+) -> int:
+    """Write ``entries`` as a complete cache file, atomically.
+
+    The database is built at a temp path in the same directory and
+    ``os.replace``d over ``path``; a torn write can therefore never be
+    observed.  Returns the number of entries written (capped at
+    ``max_entries``, oldest-first insertion order preserved).
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".memo-", suffix=".tmp", dir=parent)
+    os.close(fd)
+    written = 0
+    try:
+        con = sqlite3.connect(tmp)
+        try:
+            con.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+            con.execute(
+                "CREATE TABLE entries (key BLOB PRIMARY KEY, value BLOB)")
+            con.execute(
+                "INSERT INTO meta VALUES ('schema_hash', ?)", (SCHEMA_HASH,))
+            con.execute(
+                "INSERT INTO meta VALUES ('codec_version', ?)",
+                (str(CODEC_VERSION),))
+            rows = []
+            for key, value in entries.items():
+                if written >= max_entries:
+                    break
+                rows.append((encode_key(key), encode_value(value)))
+                written += 1
+            con.executemany(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?)", rows)
+            con.commit()
+        finally:
+            con.close()
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return written
+
+
+def merge_into_cache(
+    path: str | os.PathLike,
+    deltas: Iterable[Mapping],
+    max_entries: int = MAX_FILE_ENTRIES,
+) -> int:
+    """Fold ``deltas`` (in order) into the cache file at ``path``.
+
+    Existing valid contents are kept (a stale or corrupt file is simply
+    dropped); later deltas win on key collisions, though collisions are
+    by construction bit-identical.  Returns the total entry count of the
+    file afterwards.
+
+    Fully-warm campaigns produce empty (or entirely-redundant) deltas;
+    those skip the rewrite, so a repeated campaign's cache publish
+    costs a count query instead of a multi-second file rebuild.
+    """
+    deltas = [d for d in deltas if d]
+    if not deltas:
+        count = _entry_count(path)
+        if count is not None:
+            return count
+        deltas = []  # unreadable file: fall through and rebuild empty
+    report = load_cache(path)
+    merged = dict(report.entries)
+    changed = report.status != "ok"
+    for delta in deltas:
+        for key, value in delta.items():
+            if changed or merged.get(key, _MISSING) != value:
+                merged[key] = value
+                changed = True
+    if not changed and len(merged) <= max_entries:
+        return len(merged)
+    return save_cache(path, merged, max_entries=max_entries)
+
+
+#: Sentinel distinguishing "absent" from a stored None-like value.
+_MISSING = object()
+
+
+def _entry_count(path: str | os.PathLike) -> int | None:
+    """Entry count of a valid cache file, or None if absent/invalid."""
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return None
+    try:
+        con = _open_ro(path)
+    except sqlite3.Error:
+        return None
+    try:
+        row = con.execute(
+            "SELECT value FROM meta WHERE key='schema_hash'").fetchone()
+        if row is None or row[0] != SCHEMA_HASH:
+            return None
+        return con.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+    except sqlite3.Error:
+        return None
+    finally:
+        con.close()

@@ -8,6 +8,7 @@ Commands
 ``overhead``  just the Figure 6 overhead sweep
 ``spy``       run one named application under FPSpy and dump its traces
 ``telemetry`` run an app with the telemetry bus on and dump/diff snapshots
+``campaign``  shard a batch of independent spy runs across host cores
 """
 
 from __future__ import annotations
@@ -170,6 +171,69 @@ def _cmd_telemetry_diff(args) -> int:
     return 0
 
 
+def _cmd_campaign_run(args) -> int:
+    import pathlib
+
+    from repro.campaign import CampaignRunner, build_campaign
+
+    try:
+        campaign = build_campaign(
+            args.spec, scale=args.scale, seed=args.seed,
+            telemetry=True if args.telemetry else None,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    memo_path = None if args.memo_cache in (None, "off") else args.memo_cache
+    runner = CampaignRunner(
+        campaign,
+        workers=args.workers,
+        memo_path=memo_path,
+        out_dir=args.out,
+    )
+    result = runner.run()
+    print(result.report_text, end="")
+
+    host = result.host
+    memo = host["memo"]
+    print()
+    print(f"workers: {host['workers']} requested, "
+          f"{host['spawned_workers']} spawned, {host['retries']} retr"
+          f"{'y' if host['retries'] == 1 else 'ies'}")
+    print(f"host wall time: {host['host_wall_seconds']:.3f} s")
+    if memo["path"]:
+        warm = sum(w.get("warm_loaded", 0) for w in memo["per_worker"].values())
+        print(f"memo cache: {memo['path']}  warm-start {warm} entries, "
+              f"published {memo['published_entries']} "
+              f"(+{memo['delta_entries']} delta)")
+    if args.out:
+        out = pathlib.Path(args.out)
+        # The runner wrote these atomically as it went.
+        print(f"wrote {out / 'campaign_report.txt'} and {out / 'campaign.json'}")
+    return 1 if result.failed else 0
+
+
+def _cmd_campaign_status(args) -> int:
+    import json
+    import pathlib
+
+    path = pathlib.Path(args.out) / "status.json"
+    if not path.exists():
+        print(f"no campaign status at {path}", file=sys.stderr)
+        return 2
+    status = json.loads(path.read_text())
+    print(f"campaign {status['campaign']} ({status['spec_hash']}): "
+          f"{status['state']}")
+    print(f"  runs: {status['done']}/{status['total']} done, "
+          f"{len(status['failed'])} failed, {status['retries']} retried")
+    print(f"  workers: {status['workers']} requested, "
+          f"{status['spawned_workers']} spawned")
+    if status["failed"]:
+        print(f"  failed indices: {status['failed']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.study",
@@ -232,6 +296,36 @@ def build_parser() -> argparse.ArgumentParser:
     tdiff.add_argument("--threshold", type=float, default=0.05,
                        help="absolute fast-path rate drop that fails (default 0.05)")
     tdiff.set_defaults(fn=_cmd_telemetry_diff)
+
+    camp = sub.add_parser(
+        "campaign", help="shard independent spy runs across host cores")
+    campsub = camp.add_subparsers(dest="campaign_command", required=True)
+
+    crun = campsub.add_parser("run", help="run a campaign spec")
+    crun.add_argument("--spec", default="smoke",
+                      help="builtin name (smoke, figbench) or spec JSON path")
+    crun.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: os.cpu_count())")
+    crun.add_argument("--scale", type=float, default=None,
+                      help="override every run's problem scale")
+    crun.add_argument("--seed", type=int, default=None,
+                      help="override every run's app seed")
+    crun.add_argument("--telemetry", action="store_true",
+                      help="run every spec with the telemetry bus on and "
+                           "merge the snapshots")
+    crun.add_argument("--memo-cache", default=None, metavar="PATH",
+                      help="persistent softfloat memo cache file "
+                           "('off' or omitted: cold runs, no publish)")
+    crun.add_argument("--out", default=None,
+                      help="artifact directory (status.json, "
+                           "campaign_report.txt, campaign.json)")
+    crun.set_defaults(fn=_cmd_campaign_run)
+
+    cstat = campsub.add_parser(
+        "status", help="show a running/finished campaign's status file")
+    cstat.add_argument("--out", required=True,
+                       help="the campaign's artifact directory")
+    cstat.set_defaults(fn=_cmd_campaign_status)
     return p
 
 

@@ -42,6 +42,15 @@ class StudyPass:
     env: dict[str, str]
 
 
+def pass_variant(pass_name: str, target: str) -> str:
+    """The problem variant this pass runs ``target`` at (default otherwise).
+
+    Public so the campaign runner's specs can mirror the study's
+    per-pass problem configurations exactly.
+    """
+    return _VARIANTS[pass_name].get(target, "default")
+
+
 def pass_env(name: str) -> dict[str, str]:
     if name == "baseline":
         return {}

@@ -35,7 +35,11 @@ from repro.telemetry.bus import (
     Scope,
     TelemetryBus,
 )
-from repro.telemetry.snapshot import diff_snapshots, flatten_snapshot
+from repro.telemetry.snapshot import (
+    diff_snapshots,
+    flatten_snapshot,
+    merge_snapshots,
+)
 
 __all__ = [
     "NULL_BUS",
@@ -46,4 +50,5 @@ __all__ = [
     "TelemetryBus",
     "diff_snapshots",
     "flatten_snapshot",
+    "merge_snapshots",
 ]

@@ -169,6 +169,30 @@ class Scope:
 
     # -------------------------------------------------------- snapshot
 
+    def snapshot_typed(self) -> dict[str, object]:
+        """Snapshot preserving instrument *kinds*.
+
+        The plain :meth:`snapshot` flattens counters and gauges into one
+        namespace, which is right for rendering but loses the
+        information a cross-run merge needs (counters sum, gauges take
+        the last writer).  This form keeps them apart; see
+        :func:`repro.telemetry.snapshot.merge_snapshots`.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "labeled": {n: lc.as_dict() for n, lc in self._labeled.items()},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                    "sum": h.sum,
+                }
+                for n, h in self._histograms.items()
+            },
+            "gauges": {n: g.sample() for n, g in self._gauges.items()},
+        }
+
     def snapshot(self) -> dict[str, object]:
         out: dict[str, object] = {}
         for name, c in self._counters.items():
@@ -239,6 +263,13 @@ class TelemetryBus:
             snap["profile"] = prof.report()
             prof.telemetry_s += prof.clock() - t0
         return snap
+
+    def snapshot_typed(self) -> dict:
+        """Kind-preserving snapshot of every scope (mergeable form)."""
+        return {
+            "cycles": self.cycles,
+            "scopes": {s.name: s.snapshot_typed() for s in self.scopes()},
+        }
 
 
 # ---------------------------------------------------------- no-op path
@@ -325,6 +356,9 @@ class NullBus:
         return []
 
     def snapshot(self) -> dict:
+        return {"cycles": 0, "scopes": {}}
+
+    def snapshot_typed(self) -> dict:
         return {"cycles": 0, "scopes": {}}
 
 

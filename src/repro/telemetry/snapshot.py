@@ -13,6 +13,7 @@ even if the wall-time smoke test stays green.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 def flatten_snapshot(snapshot: dict) -> dict[str, float]:
@@ -71,6 +72,85 @@ def derive_rates(flat: dict[str, float]) -> dict[str, float]:
         r = _rate(flat, hit_key, miss_key)
         if r is not None:
             out[name] = r
+    return out
+
+
+# ------------------------------------------------------------- merging
+
+def merge_snapshots(snapshots: Sequence[dict]) -> dict:
+    """Merge *typed* snapshots into one plain snapshot.
+
+    Inputs are :meth:`TelemetryBus.snapshot_typed` dicts, one per
+    worker/run, **in spec order**; the output has the plain
+    ``{"cycles": int, "scopes": {scope: {key: value}}}`` shape that
+    :func:`flatten_snapshot`, :func:`diff_snapshots`, and the procfs
+    renderers already understand.  Merge semantics:
+
+    * ``cycles``, counters, labeled counters: summed.
+    * histograms: bucket-wise sum; mismatched bounds for the same
+      instrument are a programming error and raise ``ValueError``.
+    * gauges: **last writer wins, in input order**.  A gauge is a
+      point-in-time sample of host-side state (queue depth, cache
+      occupancy); sums are meaningless across runs, so the merged value
+      is the sample from the latest spec-order snapshot that carried it.
+    """
+    cycles = 0
+    acc: dict[str, dict[str, dict]] = {}
+    for snap in snapshots:
+        cycles += snap.get("cycles", 0)
+        for sname, tscope in snap.get("scopes", {}).items():
+            scope = acc.setdefault(sname, {
+                "counters": {}, "labeled": {}, "histograms": {}, "gauges": {},
+            })
+            for k, v in tscope.get("counters", {}).items():
+                scope["counters"][k] = scope["counters"].get(k, 0) + v
+            for k, labels in tscope.get("labeled", {}).items():
+                dst = scope["labeled"].setdefault(k, {})
+                for label, v in labels.items():
+                    dst[label] = dst.get(label, 0) + v
+            for k, h in tscope.get("histograms", {}).items():
+                cur = scope["histograms"].get(k)
+                if cur is None:
+                    scope["histograms"][k] = {
+                        "bounds": list(h["bounds"]),
+                        "counts": list(h["counts"]),
+                        "total": h["total"],
+                        "sum": h["sum"],
+                    }
+                    continue
+                if list(h["bounds"]) != cur["bounds"]:
+                    raise ValueError(
+                        f"histogram {sname}.{k}: mismatched bounds "
+                        f"{cur['bounds']} vs {list(h['bounds'])}")
+                cur["counts"] = [a + b for a, b in zip(cur["counts"], h["counts"])]
+                cur["total"] += h["total"]
+                cur["sum"] += h["sum"]
+            for k, v in tscope.get("gauges", {}).items():
+                scope["gauges"][k] = v  # last writer, by input order
+    return {
+        "cycles": cycles,
+        "scopes": {name: _plain_scope(acc[name]) for name in sorted(acc)},
+    }
+
+
+def _plain_scope(typed: dict) -> dict[str, object]:
+    """Render one merged typed scope in ``Scope.snapshot`` form."""
+    out: dict[str, object] = {}
+    for name, v in typed["counters"].items():
+        out[name] = v
+    for name, labels in typed["labeled"].items():
+        for label, v in sorted(labels.items()):
+            out[f"{name}.{label}"] = v
+    for name, h in typed["histograms"].items():
+        buckets = {f"le_{b:g}": c for b, c in zip(h["bounds"], h["counts"])}
+        buckets["overflow"] = h["counts"][-1]
+        out[name] = {"total": h["total"], "sum": h["sum"], "buckets": buckets}
+    for name, sampled in typed["gauges"].items():
+        if isinstance(sampled, dict):
+            for k, v in sampled.items():
+                out[f"{name}.{k}" if name else k] = v
+        else:
+            out[name] = sampled
     return out
 
 

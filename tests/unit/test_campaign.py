@@ -1,0 +1,230 @@
+"""Unit and integration tests for the parallel campaign runner."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultAccumulator,
+    RunSpec,
+    build_campaign,
+    execute_run,
+    merge_outcomes,
+    run_campaign,
+    smoke_campaign,
+    write_json_atomic,
+    write_text_atomic,
+)
+from repro.campaign.runner import MAX_ATTEMPTS
+
+#: One tiny, fast, event-rich campaign for the multiprocessing tests.
+TINY = CampaignSpec(
+    name="tiny",
+    runs=(
+        RunSpec(app="Miniaero", mode="aggregate", scale=0.1),
+        RunSpec(app="Miniaero", mode="filtered", scale=0.1),
+        RunSpec(app="WRF", mode="sampled", scale=0.1),
+    ),
+)
+
+
+# ----------------------------------------------------------------- spec
+
+def test_spec_json_round_trip():
+    campaign = smoke_campaign()
+    again = CampaignSpec.from_json(campaign.to_json())
+    assert again == campaign
+    assert again.spec_hash == campaign.spec_hash
+
+
+def test_spec_hash_tracks_content():
+    a = smoke_campaign()
+    b = smoke_campaign(seed=999)
+    assert a.spec_hash != b.spec_hash
+    assert a.with_overrides(seed=999).spec_hash == b.spec_hash
+    assert a.with_overrides() is a
+
+
+def test_build_campaign_resolves_builtins_files_and_rejects_junk(tmp_path):
+    assert build_campaign("smoke").name == "smoke"
+    assert build_campaign("smoke", scale=0.5).runs[0].scale == 0.5
+    path = tmp_path / "mine.json"
+    path.write_text(TINY.to_json())
+    assert build_campaign(os.fspath(path)) == TINY
+    with pytest.raises(ValueError, match="unknown campaign spec"):
+        build_campaign("no-such-campaign")
+
+
+def test_run_label():
+    spec = RunSpec(app="WRF", mode="sampled", scale=0.25, seed=7)
+    assert spec.label == "WRF/sampled@0.25#7"
+
+
+# ------------------------------------------------------- execute & merge
+
+def test_execute_run_rejects_unknown_app_and_mode():
+    with pytest.raises(ValueError, match="unknown campaign target"):
+        execute_run(0, RunSpec(app="NotAnApp"))
+    with pytest.raises(ValueError, match="unknown campaign pass"):
+        execute_run(0, RunSpec(app="Miniaero", mode="turbo"))
+
+
+def test_accumulator_rejects_duplicates_and_strays():
+    acc = ResultAccumulator(TINY)
+    out = execute_run(0, TINY.runs[0])
+    acc.add(out)
+    with pytest.raises(ValueError, match="duplicate"):
+        acc.add(out)
+    stray = execute_run(0, TINY.runs[0])
+    stray.index = 99
+    with pytest.raises(ValueError, match="out of range"):
+        acc.add(stray)
+    with pytest.raises(ValueError, match="incomplete"):
+        acc.merge()
+
+
+def test_merge_keeps_host_data_out_of_deterministic_section():
+    outcomes = [execute_run(i, spec) for i, spec in enumerate(TINY.runs)]
+    result = merge_outcomes(TINY, outcomes, host={"workers": 3})
+    blob = json.dumps(result.deterministic)
+    assert "host_seconds" not in blob
+    assert "attempts" not in blob
+    assert result.host["workers"] == 3
+    assert result.host["attempts"] == [1, 1, 1]
+    assert len(result.host["run_host_seconds"]) == 3
+    assert result.deterministic["spec_hash"] == TINY.spec_hash
+    assert result.report_text.startswith("== campaign tiny ==")
+
+
+# ------------------------------------------------- multiprocessing runs
+
+def test_parallel_report_matches_serial_and_artifacts(tmp_path):
+    serial = run_campaign(TINY, workers=1)
+    out = tmp_path / "artifacts"
+    out.mkdir()
+    parallel = run_campaign(TINY, workers=2, out_dir=out)
+    assert not serial.failed and not parallel.failed
+    assert parallel.report_text == serial.report_text
+    assert parallel.to_dict()["deterministic"] == (
+        serial.to_dict()["deterministic"])
+    assert (out / "campaign_report.txt").read_text() == parallel.report_text
+    status = json.loads((out / "status.json").read_text())
+    assert status["state"] == "done"
+    assert status["done"] == len(TINY.runs)
+    result = json.loads((out / "campaign.json").read_text())
+    assert result["deterministic"]["campaign"] == "tiny"
+
+
+def test_poisoned_spec_retried_once_then_failed_structured(tmp_path):
+    poisoned = CampaignSpec(
+        name="poisoned",
+        runs=(
+            RunSpec(app="Miniaero", mode="aggregate", scale=0.1),
+            RunSpec(app="NotAnApp"),
+        ),
+    )
+    result = run_campaign(poisoned, workers=2, out_dir=tmp_path)
+    good, bad = result.outcomes
+    assert good.status == "ok" and good.attempts == 1
+    assert bad.status == "failed"
+    # Exactly one retry on a fresh worker: two attempts total.
+    assert bad.attempts == MAX_ATTEMPTS == 2
+    assert "unknown campaign target" in bad.error
+    assert result.host["retries"] == 1
+    # The healthy run's data survives in the same report.
+    assert "FAILED runs (1):" in result.report_text
+    assert f"1  {bad.label}" in result.report_text
+    status = json.loads((tmp_path / "status.json").read_text())
+    assert status["failed"] == [1]
+    assert status["retries"] == 1
+
+
+def test_memo_cache_published_and_warm_started(tmp_path):
+    memo = tmp_path / "memo.sqlite"
+    cold = run_campaign(TINY, workers=1, memo_path=memo)
+    assert memo.exists()
+    cold_memo = cold.host["memo"]
+    assert cold_memo["per_worker"]["0"]["memo_status"] == "absent"
+    assert cold_memo["published_entries"] > 0
+
+    warm = run_campaign(TINY, workers=1, memo_path=memo)
+    warm_memo = warm.host["memo"]
+    assert warm_memo["per_worker"]["0"]["memo_status"] == "ok"
+    assert warm_memo["per_worker"]["0"]["warm_loaded"] > 0
+    # The cache must be architecturally invisible.
+    assert warm.report_text == cold.report_text
+
+
+def test_campaign_telemetry_merged_into_host_section():
+    campaign = CampaignSpec(
+        name="telem",
+        runs=tuple(
+            RunSpec(app="Miniaero", mode=m, scale=0.1, telemetry=True)
+            for m in ("aggregate", "filtered")
+        ),
+    )
+    result = run_campaign(campaign, workers=2)
+    merged = result.host["telemetry"]
+    per_run = [o.telemetry for o in result.outcomes]
+    assert merged["cycles"] == sum(t["cycles"] for t in per_run)
+    assert "telemetry" not in json.dumps(result.deterministic)
+    # The warm-start counters ride the fp.memo gauge into the snapshot.
+    assert "op_warm_loaded" in merged["scopes"]["fp.memo"]
+    assert "op_warm_hits" in merged["scopes"]["fp.memo"]
+
+
+# ------------------------------------------------------------ artifacts
+
+def test_atomic_writers_replace_not_append(tmp_path):
+    path = tmp_path / "x.json"
+    write_json_atomic(path, {"v": 1})
+    write_json_atomic(path, {"v": 2})
+    assert json.loads(path.read_text()) == {"v": 2}
+    assert path.read_text().endswith("\n")
+    assert list(tmp_path.iterdir()) == [path]  # no temp droppings
+
+    write_text_atomic(tmp_path / "r.txt", "hello\n")
+    assert (tmp_path / "r.txt").read_text() == "hello\n"
+
+
+def test_atomic_write_failure_leaves_no_temp_file(tmp_path):
+    class Unserializable:
+        pass
+
+    with pytest.raises(TypeError):
+        write_json_atomic(tmp_path / "x.json", {"v": Unserializable()})
+    assert list(tmp_path.iterdir()) == []
+
+
+# ------------------------------------------------------------------ CLI
+
+def test_cli_campaign_run_and_status(tmp_path, capsys):
+    from repro.study.cli import main
+
+    spec = tmp_path / "tiny.json"
+    spec.write_text(TINY.to_json())
+    out = tmp_path / "artifacts"
+    rc = main([
+        "campaign", "run", "--spec", os.fspath(spec),
+        "--workers", "2", "--out", os.fspath(out),
+        "--memo-cache", os.fspath(tmp_path / "memo.sqlite"),
+    ])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "== campaign tiny ==" in text
+    assert (out / "campaign_report.txt").exists()
+
+    rc = main(["campaign", "status", "--out", os.fspath(out)])
+    assert rc == 0
+    status_out = capsys.readouterr().out
+    assert "campaign tiny" in status_out and "done" in status_out
+
+
+def test_cli_campaign_rejects_unknown_spec(capsys):
+    from repro.study.cli import main
+
+    rc = main(["campaign", "run", "--spec", "bogus"])
+    assert rc == 2
+    assert "unknown campaign spec" in capsys.readouterr().err

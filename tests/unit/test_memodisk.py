@@ -1,0 +1,220 @@
+"""Unit tests for the persistent softfloat memo cache (repro.fp.memodisk)."""
+
+import sqlite3
+
+import pytest
+
+from repro.fp import memodisk
+from repro.fp.flags import Flag
+from repro.fp.formats import BINARY32, BINARY64, float_to_bits64
+from repro.fp.memo import MemoSoftFPU
+from repro.fp.memodisk import (
+    SCHEMA_HASH,
+    decode_key,
+    decode_value,
+    encode_key,
+    encode_value,
+    load_cache,
+    merge_into_cache,
+    save_cache,
+)
+from repro.fp.rounding import RoundingMode
+from repro.fp.softfloat import DEFAULT_CONTEXT, FPContext, OpResult
+
+
+def _fill(fpu: MemoSoftFPU) -> None:
+    """Exercise a representative slice of the op surface."""
+    fpu.add(BINARY64, float_to_bits64(1.5), float_to_bits64(2.25))
+    fpu.mul(BINARY32, 0x3FC00000, 0x40100000)
+    fpu.sqrt(BINARY64, float_to_bits64(2.0))
+    fpu.compare(BINARY64, float_to_bits64(1.0), float_to_bits64(2.0))
+    fpu.fma(
+        BINARY64,
+        float_to_bits64(1.1),
+        float_to_bits64(2.2),
+        float_to_bits64(-3.3),
+    )
+    ftz = FPContext(rmode=RoundingMode.ZERO, ftz=True, daz=True)
+    fpu.add(BINARY64, float_to_bits64(1e-310), float_to_bits64(1e-310), ftz)
+    fpu.to_int(BINARY64, float_to_bits64(7.7), DEFAULT_CONTEXT, 32, True)
+
+
+def test_codec_round_trips_every_key_and_value():
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    delta = fpu.export_delta()
+    assert delta
+    for key, value in delta.items():
+        rk = decode_key(encode_key(key))
+        assert rk == key
+        # Decoded keys must be usable for live-dict lookups, which is
+        # the entire point of the cache: equal AND equal-hashing.
+        assert hash(rk) == hash(key)
+        assert decode_value(encode_value(value)) == value
+
+
+def test_codec_distinguishes_bool_from_int_and_enums():
+    # bool and IntEnum/IntFlag subclass int; a naive isinstance(int)
+    # codec would collapse them and corrupt keys like to_int's
+    # ``truncate`` or a context's rounding mode.
+    key = ("k", True, 1, RoundingMode.ZERO, Flag.PE)
+    out = decode_key(encode_key(key))
+    assert out == key
+    assert [type(x) for x in out] == [type(x) for x in key]
+
+
+def test_save_load_round_trip(tmp_path):
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    delta = fpu.export_delta()
+    path = tmp_path / "memo.sqlite"
+    assert save_cache(path, delta) == len(delta)
+    report = load_cache(path)
+    assert report.status == "ok"
+    assert report.loaded == len(delta)
+    assert report.entries == delta
+
+
+def test_warm_start_hits_and_counters(tmp_path):
+    fpu = MemoSoftFPU()
+    r = fpu.add(BINARY64, float_to_bits64(1.5), float_to_bits64(2.25))
+    path = tmp_path / "memo.sqlite"
+    save_cache(path, fpu.export_delta())
+
+    warm = MemoSoftFPU()
+    warm.load_entries(load_cache(path).entries)
+    assert warm.warm_loaded == fpu.occupancy
+    assert warm.add(
+        BINARY64, float_to_bits64(1.5), float_to_bits64(2.25)) == r
+    assert warm.misses == 0
+    assert warm.warm_hits == 1
+    stats = warm.stats()
+    assert stats["warm_loaded"] == warm.warm_loaded
+    assert stats["warm_hits"] == 1
+    # Warm entries are not republished: the delta is only new work.
+    assert warm.export_delta() == {}
+
+
+def test_missing_file_is_absent(tmp_path):
+    report = load_cache(tmp_path / "nope.sqlite")
+    assert (report.status, report.loaded) == ("absent", 0)
+    assert report.entries == {}
+
+
+def test_corrupt_file_falls_back_cold(tmp_path):
+    path = tmp_path / "memo.sqlite"
+    path.write_bytes(b"this is not a sqlite database" * 64)
+    report = load_cache(path)
+    assert (report.status, report.loaded) == ("corrupt", 0)
+
+
+def test_garbage_rows_fall_back_cold(tmp_path):
+    # A real sqlite file with the right tables but undecodable blobs
+    # (e.g. written by a buggy tool) must also degrade to a cold start.
+    path = tmp_path / "memo.sqlite"
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    save_cache(path, fpu.export_delta())
+    with sqlite3.connect(path) as db:
+        db.execute(
+            "INSERT INTO entries (key, value) VALUES (?, ?)",
+            (b"not json", b"not json"),
+        )
+    assert load_cache(path).status == "corrupt"
+
+
+def test_schema_hash_mismatch_rejected(tmp_path):
+    path = tmp_path / "memo.sqlite"
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    save_cache(path, fpu.export_delta())
+    with sqlite3.connect(path) as db:
+        db.execute(
+            "UPDATE meta SET value = 'deadbeef' WHERE key = 'schema_hash'")
+    report = load_cache(path)
+    assert (report.status, report.loaded) == ("schema-mismatch", 0)
+
+
+def test_schema_hash_tracks_live_types():
+    # The hash is derived from the live dataclass fields and enum
+    # tables, so refactoring any FP type silently invalidates caches.
+    import hashlib
+
+    descriptor = memodisk._schema_descriptor()
+    assert "opresult" in descriptor and "fpcontext" in descriptor
+    assert SCHEMA_HASH == hashlib.sha256(descriptor.encode()).hexdigest()
+
+
+def test_merge_into_cache_accumulates_and_overwrites(tmp_path):
+    path = tmp_path / "memo.sqlite"
+    a = MemoSoftFPU()
+    a.add(BINARY64, float_to_bits64(1.0), float_to_bits64(2.0))
+    b = MemoSoftFPU()
+    b.mul(BINARY64, float_to_bits64(3.0), float_to_bits64(4.0))
+    total = merge_into_cache(path, [a.export_delta(), b.export_delta()])
+    assert total == 2
+    merged = load_cache(path).entries
+    assert set(merged) == set(a.export_delta()) | set(b.export_delta())
+    # Merging again is idempotent.
+    assert merge_into_cache(path, [a.export_delta()]) == 2
+
+
+def test_merge_replaces_corrupt_cache(tmp_path):
+    path = tmp_path / "memo.sqlite"
+    path.write_bytes(b"garbage")
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    total = merge_into_cache(path, [fpu.export_delta()])
+    assert total == len(fpu.export_delta())
+    assert load_cache(path).status == "ok"
+
+
+def test_save_cache_caps_entries(tmp_path):
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    delta = fpu.export_delta()
+    path = tmp_path / "memo.sqlite"
+    written = save_cache(path, delta, max_entries=2)
+    assert written == 2
+    assert load_cache(path).loaded == 2
+
+
+def test_load_entries_respects_capacity_and_existing_entries():
+    donor = MemoSoftFPU()
+    _fill(donor)
+    entries = donor.export_delta()
+    fpu = MemoSoftFPU(capacity=3)
+    live = fpu.add(BINARY64, float_to_bits64(9.0), float_to_bits64(9.0))
+    fpu.load_entries(entries)
+    assert fpu.occupancy <= 3
+    # A live entry survives the warm load.
+    fpu.misses = 0
+    assert fpu.add(
+        BINARY64, float_to_bits64(9.0), float_to_bits64(9.0)) == live
+    assert fpu.misses == 0
+
+
+def test_value_types_round_trip_exotic_results():
+    inexact_tiny = OpResult(
+        bits=1, flags=Flag.UE | Flag.PE, tiny=True)
+    assert decode_value(encode_value(inexact_tiny)) == inexact_tiny
+    # compare/to_int memoize bare ``(value, flags)`` tuples.
+    pair = (-7, Flag.PE)
+    out = decode_value(encode_value(pair))
+    assert out == pair
+    assert isinstance(out, tuple) and isinstance(out[1], Flag)
+    with pytest.raises(TypeError):
+        encode_value(object())
+
+
+def test_load_cache_never_raises_on_partial_file(tmp_path):
+    # Truncated mid-write (no os.replace) -> sqlite header missing.
+    path = tmp_path / "memo.sqlite"
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    save_cache(path, fpu.export_delta())
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 3])
+    report = load_cache(path)
+    assert report.status == "corrupt"
+    assert report.entries == {}

@@ -1,0 +1,123 @@
+"""Unit tests for merge_snapshots (campaign telemetry aggregation)."""
+
+import pytest
+
+from repro.telemetry.bus import TelemetryBus
+from repro.telemetry.snapshot import flatten_snapshot, merge_snapshots
+
+
+def _bus(counters=(), labeled=(), gauges=(), hist=None, cycles=0):
+    """Build a real bus so tests exercise the actual typed-snapshot shape."""
+
+    class _Clock:
+        pass
+
+    clock = _Clock()
+    clock.cycles = cycles
+    bus = TelemetryBus(kernel=clock)
+    scope = bus.scope("cpu")
+    for name, n in counters:
+        scope.counter(name).inc(n)
+    for name, label, n in labeled:
+        scope.labeled(name).inc(label, n)
+    for name, value in gauges:
+        scope.gauge(name, lambda v=value: v)
+    if hist is not None:
+        bounds, samples = hist
+        h = scope.histogram("lat", bounds)
+        for x in samples:
+            h.observe(x)
+    return bus
+
+
+def test_counters_and_cycles_sum():
+    a = _bus(counters=[("steps", 3)], cycles=100).snapshot_typed()
+    b = _bus(counters=[("steps", 4), ("traps", 1)], cycles=50).snapshot_typed()
+    merged = merge_snapshots([a, b])
+    assert merged["cycles"] == 150
+    assert merged["scopes"]["cpu"]["steps"] == 7
+    assert merged["scopes"]["cpu"]["traps"] == 1
+
+
+def test_labeled_counters_sum_per_label():
+    a = _bus(labeled=[("sig", "SIGFPE", 2)]).snapshot_typed()
+    b = _bus(
+        labeled=[("sig", "SIGFPE", 3), ("sig", "SIGTRAP", 1)]
+    ).snapshot_typed()
+    merged = merge_snapshots([a, b])
+    assert merged["scopes"]["cpu"]["sig.SIGFPE"] == 5
+    assert merged["scopes"]["cpu"]["sig.SIGTRAP"] == 1
+
+
+def test_histograms_sum_bucketwise():
+    bounds = (1.0, 10.0)
+    a = _bus(hist=(bounds, [0.5, 5.0])).snapshot_typed()
+    b = _bus(hist=(bounds, [0.7, 50.0])).snapshot_typed()
+    merged = merge_snapshots([a, b])
+    h = merged["scopes"]["cpu"]["lat"]
+    assert h["total"] == 4
+    assert h["sum"] == pytest.approx(56.2)
+    assert h["buckets"]["le_1"] == 2
+    assert h["buckets"]["le_10"] == 1
+    assert h["buckets"]["overflow"] == 1
+
+
+def test_histogram_bounds_mismatch_raises():
+    a = _bus(hist=((1.0, 10.0), [0.5])).snapshot_typed()
+    b = _bus(hist=((2.0, 20.0), [0.5])).snapshot_typed()
+    with pytest.raises(ValueError, match="mismatched bounds"):
+        merge_snapshots([a, b])
+
+
+def test_gauges_are_last_writer_in_input_order():
+    a = _bus(gauges=[("depth", 3)]).snapshot_typed()
+    b = _bus(gauges=[("depth", 9)]).snapshot_typed()
+    assert merge_snapshots([a, b])["scopes"]["cpu"]["depth"] == 9
+    assert merge_snapshots([b, a])["scopes"]["cpu"]["depth"] == 3
+
+
+def test_gauge_missing_from_later_snapshot_keeps_earlier_sample():
+    a = _bus(gauges=[("depth", 3)]).snapshot_typed()
+    b = _bus(counters=[("steps", 1)]).snapshot_typed()
+    assert merge_snapshots([a, b])["scopes"]["cpu"]["depth"] == 3
+
+
+def test_dict_valued_gauges_splice_like_plain_snapshots():
+    a = _bus(gauges=[("memo", {"hits": 1, "misses": 2})]).snapshot_typed()
+    merged = merge_snapshots([a])
+    assert merged["scopes"]["cpu"]["memo.hits"] == 1
+    assert merged["scopes"]["cpu"]["memo.misses"] == 2
+
+
+def test_merge_of_single_snapshot_matches_plain_snapshot():
+    bus = _bus(
+        counters=[("steps", 5)],
+        labeled=[("sig", "SIGFPE", 2)],
+        gauges=[("depth", 7)],
+        hist=((1.0, 10.0), [0.5, 3.0, 99.0]),
+        cycles=42,
+    )
+    assert merge_snapshots([bus.snapshot_typed()]) == bus.snapshot()
+
+
+def test_merged_output_flattens_like_any_snapshot():
+    a = _bus(counters=[("steps", 3)], cycles=10).snapshot_typed()
+    b = _bus(counters=[("steps", 4)], cycles=20).snapshot_typed()
+    flat = flatten_snapshot(merge_snapshots([a, b]))
+    assert flat["cycles"] == 30
+    assert flat["cpu.steps"] == 7
+
+
+def test_empty_inputs():
+    assert merge_snapshots([]) == {"cycles": 0, "scopes": {}}
+    empty = _bus().snapshot_typed()
+    assert merge_snapshots([empty]) == {"cycles": 0, "scopes": {"cpu": {}}}
+
+
+def test_disjoint_scopes_union():
+    a = _bus(counters=[("steps", 1)]).snapshot_typed()
+    b = _bus(counters=[("flushes", 2)]).snapshot_typed()
+    b["scopes"]["vfs"] = b["scopes"].pop("cpu")
+    merged = merge_snapshots([a, b])
+    assert sorted(merged["scopes"]) == ["cpu", "vfs"]
+    assert merged["scopes"]["vfs"]["flushes"] == 2
