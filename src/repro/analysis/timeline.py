@@ -39,8 +39,11 @@ def rate_series(
     (Figure 13).
     """
     times = _times(records, event)
-    if times.size == 0:
-        return np.empty(0), np.empty(0)
+    if times.size < 2:
+        # A rate needs an interval: empty and single-event streams have
+        # none, so return well-defined empties rather than dividing by a
+        # degenerate (or zero) bin width.
+        return np.zeros(0), np.zeros(0)
     lo = times[0] if t_start is None else t_start
     hi = times[-1] if t_end is None else t_end
     if hi <= lo:
@@ -48,7 +51,9 @@ def rate_series(
     counts, edges = np.histogram(times, bins=bins, range=(lo, hi))
     widths = np.diff(edges)
     centers = (edges[:-1] + edges[1:]) / 2.0
-    return centers, counts / widths
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rates = np.where(widths > 0, counts / np.where(widths > 0, widths, 1.0), 0.0)
+    return centers, rates
 
 
 def cumulative_series(
@@ -74,6 +79,9 @@ def burstiness(records: Iterable[IndividualRecord], event: str | None = None) ->
         return 0.0
     gaps = np.diff(times)
     med = float(np.median(gaps))
+    biggest = float(np.max(gaps))
     if med == 0.0:
-        return float("inf")
-    return float(np.max(gaps) / med)
+        # All-identical timestamps are uniform (ratio 0), not bursty;
+        # a zero median with real gaps is burstiness beyond measure.
+        return 0.0 if biggest == 0.0 else float("inf")
+    return biggest / med

@@ -101,6 +101,9 @@ def merge_outcomes(
         "total_individual_records": sum(
             o.individual_records for o in outcomes),
     }
+    provenance = _merged_provenance(outcomes)
+    if provenance:
+        deterministic["provenance"] = [list(r) for r in provenance]
     host_section = dict(host or {})
     host_section.setdefault("retries", 0)
     host_section["run_host_seconds"] = [
@@ -121,7 +124,7 @@ def merge_outcomes(
 
 
 def _deterministic_run(o: RunOutcome) -> dict:
-    return {
+    d = {
         "index": o.index,
         "label": o.label,
         "status": o.status,
@@ -136,6 +139,22 @@ def _deterministic_run(o: RunOutcome) -> dict:
         "individual_records": o.individual_records,
         "trace_digest": [list(t) for t in o.trace_digest],
     }
+    if o.spans_recorded or o.provenance:
+        # Flight-recorder tallies are architecturally determined (span
+        # stamps follow the simulated trap lifecycle), so they belong in
+        # the deterministic section.
+        d["spans_recorded"] = o.spans_recorded
+        d["span_trees"] = o.span_trees
+        d["spans_dropped"] = o.spans_dropped
+        d["provenance"] = [list(r) for r in o.provenance]
+    return d
+
+
+def _merged_provenance(outcomes: list[RunOutcome]) -> list[tuple]:
+    from repro.fp.provenance import merge_rollups
+
+    per_run = [o.provenance for o in outcomes if o.provenance]
+    return merge_rollups(per_run) if per_run else []
 
 
 def _event_union(outcomes: list[RunOutcome]) -> list[str]:
@@ -171,6 +190,24 @@ def render_report(campaign: CampaignSpec, outcomes: list[RunOutcome]) -> str:
     lines.append("")
     lines.append(f"event union: {','.join(_event_union(outcomes)) or '-'}")
     lines.append(f"total cycles: {sum(o.cycles for o in outcomes)}")
+    provenance = _merged_provenance(outcomes)
+    if provenance:
+        traced = [o for o in outcomes if o.spans_recorded]
+        spans = sum(o.spans_recorded for o in traced)
+        trees = sum(o.span_trees for o in traced)
+        dropped = sum(o.spans_dropped for o in traced)
+        lines.append("")
+        lines.append(
+            f"flight recorder: {spans} spans, {trees} trap trees, "
+            f"{dropped} dropped across {len(traced)} traced runs")
+        lines.append("provenance rollup (origin RIP, kind; merged):")
+        lines.append(
+            f"  {'origin':>14s} {'kind':<7s} {'form':<10s} "
+            f"{'origins':>8s} {'props':>6s} {'sinks':>6s}")
+        for rip, kind, mnemonic, origins, props, sinks in provenance[:20]:
+            lines.append(
+                f"  0x{rip:>12x} {kind:<7s} {mnemonic:<10s} "
+                f"{origins:>8d} {props:>6d} {sinks:>6d}")
     if failed:
         lines.append("")
         lines.append(f"FAILED runs ({len(failed)}):")

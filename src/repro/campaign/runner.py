@@ -251,7 +251,26 @@ class CampaignRunner:
                 os.path.join(self.out_dir, REPORT_FILE), result.report_text)
             write_json_atomic(
                 os.path.join(self.out_dir, RESULT_FILE), result.to_dict())
+            self._write_trace_artifacts(result)
         return result
+
+    def _write_trace_artifacts(self, result: CampaignResult) -> None:
+        """Per-run flight-recorder artifacts for ``tracing`` specs:
+        packed spans plus the Chrome trace-event export."""
+        traced = [o for o in result.outcomes if o.trace_bin]
+        if not traced:
+            return
+        from repro.telemetry.tracing import spans_from_binary, to_chrome_json
+
+        trace_dir = os.path.join(self.out_dir, "traces")
+        os.makedirs(trace_dir, exist_ok=True)
+        for o in traced:
+            base = os.path.join(trace_dir, f"run{o.index:04d}")
+            with open(base + ".spans.bin", "wb") as fh:
+                fh.write(o.trace_bin)
+            write_text_atomic(
+                base + ".trace.json",
+                to_chrome_json(spans_from_binary(o.trace_bin)))
 
     # ------------------------------------------------------- internals
 

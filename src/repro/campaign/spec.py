@@ -40,6 +40,7 @@ class RunSpec:
     seed: int = 1234
     variant: str = "default"
     telemetry: bool = False
+    tracing: bool = False  #: flight recorder + provenance (DESIGN.md #10)
     blockexec: bool = True
     trapfast: bool = True
 
@@ -94,6 +95,7 @@ class CampaignSpec:
         scale: float | None = None,
         seed: int | None = None,
         telemetry: bool | None = None,
+        tracing: bool | None = None,
     ) -> "CampaignSpec":
         """A copy with per-run fields overridden campaign-wide."""
         kw = {}
@@ -103,6 +105,8 @@ class CampaignSpec:
             kw["seed"] = seed
         if telemetry is not None:
             kw["telemetry"] = telemetry
+        if tracing is not None:
+            kw["tracing"] = tracing
         if not kw:
             return self
         return CampaignSpec(
@@ -158,6 +162,7 @@ def build_campaign(
     scale: float | None = None,
     seed: int | None = None,
     telemetry: bool | None = None,
+    tracing: bool | None = None,
 ) -> CampaignSpec:
     """Resolve ``spec`` (builtin name or JSON file path) to a campaign."""
     if spec in BUILTIN_CAMPAIGNS:
@@ -168,4 +173,5 @@ def build_campaign(
         raise ValueError(
             f"unknown campaign spec {spec!r}: not a builtin "
             f"({', '.join(sorted(BUILTIN_CAMPAIGNS))}) and not a file")
-    return campaign.with_overrides(scale=scale, seed=seed, telemetry=telemetry)
+    return campaign.with_overrides(
+        scale=scale, seed=seed, telemetry=telemetry, tracing=tracing)

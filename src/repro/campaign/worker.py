@@ -54,6 +54,14 @@ class RunOutcome:
     trace_digest: tuple[tuple[str, int, str], ...] = ()
     #: Typed telemetry snapshot (``snapshot_typed``) when enabled.
     telemetry: dict | None = field(default=None, repr=False)
+    #: Flight-recorder tallies (``RunSpec.tracing`` runs only).
+    spans_recorded: int = 0
+    span_trees: int = 0
+    spans_dropped: int = 0
+    #: Provenance rollup rows (``ProvenanceTracker.rollup_rows``).
+    provenance: tuple[tuple, ...] = ()
+    #: Packed SpanRecord bytes for the per-run artifact.
+    trace_bin: bytes = field(default=b"", repr=False)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -71,6 +79,7 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
     from repro.study.passes import pass_env
     from repro.study.targets import make_targets
     from repro.telemetry.procfs import PROC_ROOT
+    from repro.telemetry.tracing import to_binary
     from repro.trace.reader import TraceSet
 
     targets = make_targets()
@@ -87,6 +96,7 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
         blockexec=spec.blockexec,
         trapfast=spec.trapfast,
         telemetry=spec.telemetry,
+        tracing=spec.tracing,
     ))
     t0 = time.perf_counter()
     targets[spec.app].launch(kernel, env, spec.scale, spec.variant, spec.seed)
@@ -122,6 +132,13 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
         trace_digest=tuple(sorted(digest)),
         telemetry=(
             kernel.telemetry.snapshot_typed() if spec.telemetry else None),
+        spans_recorded=kernel.tracer.recorded if spec.tracing else 0,
+        span_trees=kernel.tracer.trees_completed if spec.tracing else 0,
+        spans_dropped=kernel.tracer.dropped if spec.tracing else 0,
+        provenance=(
+            kernel.provenance.rollup_rows() if spec.tracing else ()),
+        trace_bin=(
+            to_binary(kernel.tracer.spans()) if spec.tracing else b""),
     )
 
 

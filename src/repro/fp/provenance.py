@@ -1,0 +1,281 @@
+"""NaN/Inf/denorm provenance: origin -> propagation -> kill-site "coils".
+
+FlowFPX and Herbgrind (PAPERS.md) show that the actionable view of an
+exceptional value is its *coil*: the instruction that first produced it
+(origin), how far it propagated through subsequent operations, and
+where it was killed (overwritten by a normal value) or sank into a
+non-float result (compare, float->int convert).  The simulated
+substrate can provide this exactly: every scalar softfloat retirement
+reports its operand and result bit patterns, so tagging and following
+exceptional values needs no guest cooperation and perturbs nothing.
+
+Tags are keyed by *bit pattern* in a small per-task map.  On x64 a NaN
+propagates by forwarding the first NaN operand (quieted), so a payload
+identifies its chain; infinities and denormals are likewise stable bit
+patterns between operations.  Two independent origins that produce the
+same bit pattern in the same task alias to the most recent producer --
+a documented limitation (DESIGN.md decision #10), harmless in practice
+because distinct fault sites almost always differ in payload, sign, or
+magnitude.
+
+Coverage is complete despite the vectorized fast path: certified
+vector lanes can neither consume nor produce NaN/Inf/denorm values
+(the :mod:`repro.fp.vectorfast` operand window excludes non-normals and
+``_safe_result`` bounds every result away from overflow/underflow), so
+hooks on the scalar paths -- ``_exec_fp`` retirement, block scalar
+substeps, uncertified-lane recomputation, and handler-emulated
+writebacks -- observe every operation that can touch an exceptional
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.isa.forms import OpKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+#: Per-task tag map capacity; FIFO eviction (oldest tag forgotten first).
+TAG_CAP = 4096
+
+#: Per-coil cap on individually remembered sink sites (the count keeps
+#: incrementing past the cap).
+SINK_CAP = 8
+
+#: Kinds whose results are integers / relation codes: exceptional float
+#: inputs can only *sink* here, never propagate.
+_INT_RESULT_KINDS = frozenset(
+    {OpKind.UCOMI, OpKind.COMI, OpKind.CVT_F2I, OpKind.CVT_F2I_TRUNC}
+)
+
+
+def classify(fmt, bits: int) -> str | None:
+    """``"nan"``, ``"inf"``, ``"denorm"``, or ``None`` for ordinary values."""
+    if fmt.exp_field(bits) == fmt.exp_mask:
+        return "nan" if fmt.mant_field(bits) != 0 else "inf"
+    if fmt.is_subnormal(bits):
+        return "denorm"
+    return None
+
+
+@dataclass
+class Origin:
+    """Where an exceptional value first appeared.
+
+    ``consumed`` marks consumption origins: the exceptional bits arrived
+    as an *input* from outside the tracked window (e.g. program data),
+    and this RIP is merely the first instruction seen touching them.
+    """
+
+    oid: int
+    rip: int
+    mnemonic: str
+    kind: str  #: "nan" | "inf" | "denorm"
+    cycle: int
+    pid: int
+    tid: int
+    flags: int  #: exception flags raised by the producing operation
+    consumed: bool = False
+
+
+@dataclass
+class Coil:
+    """One origin's life story: propagation length and kill/sink sites."""
+
+    origin: Origin
+    propagations: int = 0
+    last_cycle: int = 0
+    sink_count: int = 0
+    sinks: list = field(default_factory=list)  #: first SINK_CAP (rip, cycle)
+
+    def add_sink(self, rip: int, cycle: int) -> None:
+        self.sink_count += 1
+        if len(self.sinks) < SINK_CAP:
+            self.sinks.append((rip, cycle))
+        self.last_cycle = cycle
+
+
+class ProvenanceTracker:
+    """Tags exceptional register values and accumulates coils.
+
+    One tracker per kernel, enabled alongside the flight recorder
+    (``KernelConfig.tracing``).  The CPU and block engine pre-fetch it as
+    ``self._prov`` (``None`` when disabled) and call :meth:`observe` on
+    every scalar FP retirement.
+    """
+
+    def __init__(self, kernel: "Kernel | None" = None, tag_cap: int = TAG_CAP):
+        self.kernel = kernel
+        self.tag_cap = int(tag_cap)
+        #: task -> {result bits -> Origin}
+        self._tags: dict = {}
+        self._coils: dict[int, Coil] = {}
+        self._next_oid = 1
+        self.observed = 0  #: operations inspected
+        self.tag_evictions = 0
+
+    # ------------------------------------------------------------ tagging
+
+    def _origin(self, task, rip: int, mnemonic: str, kind: str, flags,
+                consumed: bool) -> Origin:
+        oid = self._next_oid
+        self._next_oid += 1
+        cycles = self.kernel.cycles if self.kernel is not None else 0
+        org = Origin(
+            oid=oid, rip=rip, mnemonic=mnemonic, kind=kind, cycle=cycles,
+            pid=task.process.pid, tid=task.tid, flags=int(flags),
+            consumed=consumed,
+        )
+        self._coils[oid] = Coil(origin=org, last_cycle=cycles)
+        return org
+
+    def _tag(self, task, bits: int, origin: Origin) -> None:
+        tags = self._tags.get(task)
+        if tags is None:
+            tags = self._tags[task] = {}
+        if bits not in tags and len(tags) >= self.tag_cap:
+            tags.pop(next(iter(tags)))
+            self.tag_evictions += 1
+        tags[bits] = origin
+
+    def observe(self, task: "Task", site, inputs, results, flags) -> None:
+        """Inspect one retired operation's operands and results.
+
+        ``inputs`` is the per-lane operand tuple the instruction
+        consumed, ``results`` the per-lane result bits (relation codes /
+        integers for compare and float->int kinds).  Must be called with
+        take-truncated lanes so padding never creates phantom coils.
+        """
+        self.observed += 1
+        form = site.form
+        kind = form.kind
+        in_fmt = None if kind is OpKind.CVT_I2F else form.fmt
+        if kind in _INT_RESULT_KINDS:
+            res_fmt = None
+        elif kind in (OpKind.CVT_F2F, OpKind.CVT_I2F):
+            res_fmt = form.dst_fmt
+        else:
+            res_fmt = form.fmt
+        tags = self._tags.get(task)
+        cycles = self.kernel.cycles if self.kernel is not None else 0
+        rip = site.address
+
+        for lane, operands in enumerate(inputs):
+            # What flowed in: the first tagged exceptional operand wins
+            # (mirrors the x64 first-NaN forwarding rule), else note any
+            # untagged exceptional operand as an outside arrival.
+            tagged = None
+            arrived = None
+            if in_fmt is not None:
+                for bits in operands:
+                    cls = classify(in_fmt, bits)
+                    if cls is None:
+                        continue
+                    org = tags.get(bits) if tags is not None else None
+                    if org is not None:
+                        tagged = org
+                        break
+                    if arrived is None:
+                        arrived = (bits, cls)
+
+            res = results[lane] if lane < len(results) else None
+            res_cls = classify(res_fmt, res) if (
+                res_fmt is not None and res is not None
+            ) else None
+
+            if res_cls is not None:
+                if tagged is not None:
+                    # Propagation: the chain grows one link.
+                    coil = self._coils[tagged.oid]
+                    coil.propagations += 1
+                    coil.last_cycle = cycles
+                    self._tag(task, res, tagged)
+                elif arrived is not None:
+                    # Exceptional in, exceptional out, no known origin:
+                    # this RIP is the consumption origin of the chain.
+                    org = self._origin(
+                        task, rip, form.mnemonic, arrived[1], flags,
+                        consumed=True,
+                    )
+                    self._tag(task, arrived[0], org)
+                    self._tag(task, res, org)
+                else:
+                    # Ordinary operands produced an exceptional result:
+                    # a fresh production origin (the Herbgrind case).
+                    org = self._origin(
+                        task, rip, form.mnemonic, res_cls, flags,
+                        consumed=False,
+                    )
+                    self._tag(task, res, org)
+            elif tagged is not None:
+                # Exceptional in, ordinary (or integer) out: the chain
+                # was killed or sank here.
+                self._coils[tagged.oid].add_sink(rip, cycles)
+
+    # ------------------------------------------------------------- views
+
+    def coils(self) -> list[Coil]:
+        """All coils, longest propagation first (ties by origin id)."""
+        return sorted(
+            self._coils.values(),
+            key=lambda c: (-c.propagations, -c.sink_count, c.origin.oid),
+        )
+
+    def top(self) -> list[dict]:
+        """Figure-style rollup: one row per (origin RIP, kind), ranked by
+        total propagation length."""
+        rows: dict[tuple, dict] = {}
+        for coil in self._coils.values():
+            key = (coil.origin.rip, coil.origin.kind)
+            row = rows.get(key)
+            if row is None:
+                row = rows[key] = {
+                    "rip": coil.origin.rip,
+                    "kind": coil.origin.kind,
+                    "mnemonic": coil.origin.mnemonic,
+                    "origins": 0,
+                    "propagations": 0,
+                    "sinks": 0,
+                }
+            row["origins"] += 1
+            row["propagations"] += coil.propagations
+            row["sinks"] += coil.sink_count
+        return sorted(
+            rows.values(),
+            key=lambda r: (-r["propagations"], -r["sinks"], r["rip"], r["kind"]),
+        )
+
+    def rollup_rows(self) -> tuple[tuple, ...]:
+        """The :meth:`top` rollup as plain tuples for campaign merging:
+        ``(rip, kind, mnemonic, origins, propagations, sinks)``."""
+        return tuple(
+            (r["rip"], r["kind"], r["mnemonic"], r["origins"],
+             r["propagations"], r["sinks"])
+            for r in self.top()
+        )
+
+
+def merge_rollups(per_run: list) -> list[tuple]:
+    """Merge :meth:`ProvenanceTracker.rollup_rows` across runs, summing
+    counts by (rip, kind, mnemonic); deterministic order."""
+    acc: dict[tuple, list] = {}
+    for rows in per_run:
+        for rip, kind, mnemonic, origins, props, sinks in rows:
+            key = (rip, kind, mnemonic)
+            row = acc.get(key)
+            if row is None:
+                acc[key] = [origins, props, sinks]
+            else:
+                row[0] += origins
+                row[1] += props
+                row[2] += sinks
+    merged = [
+        (rip, kind, mnemonic, o, p, s)
+        for (rip, kind, mnemonic), (o, p, s) in acc.items()
+    ]
+    merged.sort(key=lambda r: (-r[4], -r[5], r[0], r[1]))
+    return merged

@@ -75,6 +75,7 @@ class FPSpyEngine:
         tel = self.kernel.telemetry
         if tel:
             scope = tel.scope("fpspy")
+            self._t_scope = scope
             self._t_events = scope.labeled("events")
             self._t_observed = scope.counter("observed")
             self._t_recorded = scope.counter("recorded")
@@ -83,12 +84,18 @@ class FPSpyEngine:
             self._t_step_asides = scope.counter("step_asides")
             scope.gauge(f"proc.{process.pid}", self._proc_gauge)
         else:
+            self._t_scope = None
             self._t_events = None
             self._t_observed = None
             self._t_recorded = None
             self._t_toggles = None
             self._t_phase = None
             self._t_step_asides = None
+
+        # Flight recorder (DESIGN.md #10): handler-phase spans, same
+        # one-branch prefetch idiom.
+        tr = getattr(self.kernel, "tracer", None)
+        self._tr = tr if tr else None
 
     def _proc_gauge(self) -> dict[str, float]:
         """Per-process monitoring totals, sampled only at snapshot time."""
@@ -258,6 +265,10 @@ class FPSpyEngine:
             return
 
         task = mon.task
+        tr = self._tr
+        if tr is not None:
+            tr.handler_entry(task, "sigfpe", mctx.rip)
+            tr.decode(task, mctx.rip, mctx.instruction)
         mx = MXCSR(mctx.mxcsr)
         codes = int(mx.status)
         mon.observed += 1
@@ -265,6 +276,12 @@ class FPSpyEngine:
             self._t_observed.value += 1
             for name in flags_to_events(Flag(codes)):
                 self._t_events.inc(name)
+            # /proc/fpspy/events: each delivery, attributed to its task.
+            self._t_scope.event(
+                "sigfpe", self.kernel.cycles,
+                pid=self.process.pid, tid=task.tid, rip=mctx.rip,
+                sicode=info.code,
+            )
         task.utime_cycles += self.costs.handler_user
         self.kernel.cycles += self.costs.handler_user
 
@@ -287,6 +304,8 @@ class FPSpyEngine:
                 self._t_recorded.value += 1
             task.utime_cycles += self.costs.trace_append
             self.kernel.cycles += self.costs.trace_append
+            if tr is not None:
+                tr.record(task, mon.seq - 1)
 
         if (
             self.config.maxcount is not None
@@ -299,6 +318,8 @@ class FPSpyEngine:
             mx.mask_all()
             mctx.mxcsr = mx.value
             mctx.trap_flag = False
+            if tr is not None:
+                tr.handler_exit(task, "sigfpe", "disarm")
             return
 
         # Figure 5, AWAIT_FPE -> AWAIT_TRAP: clear codes, mask exceptions,
@@ -308,6 +329,8 @@ class FPSpyEngine:
         mctx.mxcsr = mx.value
         mctx.trap_flag = True
         mon.state = MonitorState.AWAIT_TRAP
+        if tr is not None:
+            tr.handler_exit(task, "sigfpe", "mask+tf")
 
     def _sigtrap_handler(self, signo: Signal, info: SigInfo, uctx: UContext) -> None:
         mon = self._current_monitor()
@@ -320,6 +343,9 @@ class FPSpyEngine:
             return
         # Figure 5, AWAIT_TRAP -> AWAIT_FPE: clear codes, unmask (honoring
         # the sampler phase), stop single-stepping.
+        tr = self._tr
+        if tr is not None:
+            tr.handler_entry(mon.task, "sigtrap", mctx.rip)
         mx = MXCSR(mctx.mxcsr)
         mx.clear_status()
         self._apply_masks_to(mon, mx)
@@ -328,6 +354,9 @@ class FPSpyEngine:
         mon.state = MonitorState.AWAIT_FPE
         mon.task.utime_cycles += self.costs.handler_user
         self.kernel.cycles += self.costs.handler_user
+        if tr is not None:
+            tr.rearm(mon.task, mx.value, False)
+            tr.handler_exit(mon.task, "sigtrap", "rearm")
 
     def _alarm_handler(self, signo: Signal, info: SigInfo, uctx: UContext) -> None:
         """Poisson sampler tick: toggle the on/off phase."""

@@ -48,6 +48,16 @@ class KernelConfig:
     #: Attribute simulator wall-clock to {guest, trap, tracing,
     #: telemetry} via the self-profiler (implies ``telemetry``).
     profile: bool = False
+    #: Enable the trap-lifecycle flight recorder and the NaN/Inf/denorm
+    #: provenance tracker (DESIGN.md #10).  Spans and coils are
+    #: host-side observations only: guest-visible traces, cycles, and
+    #: campaign reports are byte-identical either way
+    #: (tests/property/test_tracing_props.py).  Off, every hook site
+    #: sees the falsy NULL_TRACER and skips itself with one branch.
+    tracing: bool = False
+    #: Flight-recorder ring capacity in spans; overflow drops the oldest
+    #: span and counts it (never silent).
+    trace_capacity: int = 65536
 
 
 @dataclass
@@ -105,6 +115,24 @@ class Kernel:
             self._install_telemetry()
         else:
             self.telemetry = NULL_BUS
+
+        from repro.telemetry.tracing import NULL_TRACER, TraceRecorder
+
+        if self.config.tracing:
+            self.tracer = TraceRecorder(
+                self,
+                capacity=self.config.trace_capacity,
+                telemetry=self.telemetry,
+            )
+            from repro.fp.provenance import ProvenanceTracker
+
+            self.provenance = ProvenanceTracker(self)
+            from repro.telemetry.procfs import mount_trace
+
+            mount_trace(self)
+        else:
+            self.tracer = NULL_TRACER
+            self.provenance = None
 
         from repro.machine.cpu import CPU
 

@@ -86,6 +86,10 @@ def step_block(cpu: "CPU", task: Task, block: FPBlock) -> bool:
 
     _commit_chunk(cpu, task, block, k)
     cpu.step_cost = k * w
+    if cpu._tr is not None:
+        # Fast-path batches stamp one coarse span (never per-instruction
+        # detail -- nothing in a quiescent chunk can fault or trap).
+        cpu._tr.chunk(task, block.site.address, k)
     if cpu._t_blk_chunks is not None:
         cpu._t_blk_chunks.value += 1
         cpu._t_blk_groups.value += k
@@ -121,12 +125,28 @@ def _commit_chunk(cpu: "CPU", task: Task, block: FPBlock, k: int) -> None:
                 outcome = cpu.execute_site(task, block.site, block.group(g))
                 flags |= outcome.flags
                 out[gi * lanes:(gi + 1) * lanes] = outcome.results
+                if cpu._prov is not None:
+                    # Certified lanes can neither consume nor produce
+                    # exceptional values (the vectorfast operand window),
+                    # so observing only these recomputed groups still
+                    # sees every NaN/Inf/denorm in the chunk.
+                    take = block.take(g)
+                    cpu._prov.observe(
+                        task, block.site, block.group(g)[:take],
+                        outcome.results[:take], outcome.flags,
+                    )
     else:
         out = []
         for g in range(start, start + k):
             outcome = cpu.execute_site(task, block.site, block.group(g))
             flags |= outcome.flags
             out.extend(outcome.results)
+            if cpu._prov is not None:
+                take = block.take(g)
+                cpu._prov.observe(
+                    task, block.site, block.group(g)[:take],
+                    outcome.results[:take], outcome.flags,
+                )
 
     task.mxcsr.set_status(flags)
 
@@ -182,9 +202,22 @@ def _substep_fp(cpu: "CPU", task: Task, block: FPBlock) -> bool:
                 addr=block.site.address,
             )
         )
+        if cpu._tr is not None:
+            cpu._tr.fp_fault(
+                task, block.site.address, FLAG_SICODE_INT[delivered],
+                int(pending),
+            )
         return True
 
+    if cpu._prov is not None:
+        take = block.take(block.index)
+        cpu._prov.observe(
+            task, block.site, block.group(block.index)[:take],
+            outcome.results[:take], outcome.flags,
+        )
     retire_fp(cpu, task, block, outcome.results, charge=True)
+    if cpu._tr is not None:
+        cpu._tr.fp_retired(task, block.site.address, None)
     cpu._maybe_trap(task)
     return True
 

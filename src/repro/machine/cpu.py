@@ -27,7 +27,7 @@ from repro.fp.flags import Flag, highest_priority
 from repro.guest.ops import FPBlock, IntWork, LibcCall
 from repro.isa.instruction import FPInstruction
 from repro.machine import blockexec
-from repro.isa.semantics import execute_form, form_executor
+from repro.isa.semantics import execute_form, form_executor, traced_form_executor
 from repro.kernel.signals import (
     EFLAGS_TF,
     FATAL_BY_DEFAULT,
@@ -132,6 +132,17 @@ class CPU:
         #: (True = vectorized chunk, False = precise sub-step), for the
         #: quiescence entry/exit transition counters.
         self._blk_mode: dict[Task, bool] = {}
+        #: Flight recorder + provenance (DESIGN.md #10), pre-fetched with
+        #: the same one-branch idiom as telemetry.  The traced executor
+        #: factory is chosen once here: traced memo closures expose a
+        #: ``memo_hit`` cell the emulate span reads, and keeping them in
+        #: a separate intern table leaves the disabled path untouched.
+        tr = getattr(kernel, "tracer", None)
+        self._tr = tr if tr else None
+        self._prov = getattr(kernel, "provenance", None)
+        self._executor_factory = (
+            traced_form_executor if self._tr is not None else form_executor
+        )
 
     def _note_block_mode(self, task: Task, fast: bool) -> None:
         """Count quiescence regime transitions for ``task`` (telemetry)."""
@@ -182,6 +193,8 @@ class CPU:
             task.stime_cycles += self.costs.signal_deliver
             self.kernel.cycles += self.costs.signal_deliver
             uctx = self._build_ucontext(task, info)
+            if self._tr is not None:
+                self._tr.signal_delivered(task, info.signo, info.code, uctx.mcontext)
             disposition(info.signo, info, uctx)
             self._apply_handler_writes(task, uctx)
             # Arm the fused single-step path: the handler of a precise FP
@@ -208,6 +221,10 @@ class CPU:
             task.send_value = op.results
             task.last_rip = op.site.address + len(op.site.encoding)
             task.advance_vtime(1)
+            if self._prov is not None:
+                self._prov.observe(task, op.site, op.inputs, op.results, 0)
+            if self._tr is not None:
+                self._tr.emulated(task, op.site.address)
         elif (
             emulated is not None
             and isinstance(task.pending_op, FPBlock)
@@ -215,9 +232,16 @@ class CPU:
         ):
             # Same idiom with the block's cursor parked on the faulting
             # instruction: retire that group with the handler's results.
-            blockexec.retire_fp(
-                self, task, task.pending_op, tuple(emulated), charge=False
-            )
+            op = task.pending_op
+            if self._prov is not None:
+                take = op.take(op.index)
+                self._prov.observe(
+                    task, op.site, op.group(op.index)[:take],
+                    tuple(emulated)[:take], 0,
+                )
+            blockexec.retire_fp(self, task, op, tuple(emulated), charge=False)
+            if self._tr is not None:
+                self._tr.emulated(task, op.site.address)
 
     # --------------------------------------------------------------- fetch
 
@@ -289,7 +313,7 @@ class CPU:
         if entry is None or entry[0] is not site:
             entry = (
                 site,
-                form_executor(site.form),
+                self._executor_factory(site.form),
                 site.address + len(site.encoding),
             )
             self._site_cache[site.address] = entry
@@ -319,6 +343,7 @@ class CPU:
             _, executor, end_rip = self._site_entry(site)
             outcome = executor(op.inputs, task.mxcsr.context())
         else:
+            executor = None
             outcome = execute_form(op.form, op.inputs, task.mxcsr.context())
             end_rip = site.address + len(site.encoding)
         # Condition codes are set as a side effect regardless of masking.
@@ -342,6 +367,10 @@ class CPU:
                     addr=site.address,
                 )
             )
+            if self._tr is not None:
+                self._tr.fp_fault(
+                    task, site.address, FLAG_SICODE_INT[delivered], int(pending)
+                )
             return True
 
         # Writeback and retire.
@@ -352,6 +381,11 @@ class CPU:
         task.utime_cycles += self.costs.fp_instr
         self.kernel.cycles += self.costs.fp_instr
         task.advance_vtime(1)
+        if self._prov is not None:
+            self._prov.observe(task, site, op.inputs, outcome.results, outcome.flags)
+        if self._tr is not None:
+            hit = executor.memo_hit[0] if executor is not None else None
+            self._tr.fp_retired(task, site.address, hit)
         self._maybe_trap(task)
         return True
 
@@ -457,6 +491,8 @@ class CPU:
         task.post_signal(
             SigInfo(signo=Signal.SIGTRAP, code=TRAP_TRACE_CODE)
         )
+        if self._tr is not None:
+            self._tr.trap_queued(task, False)
 
     def _deliver_trap_inline(self, task: Task, disposition, floor: int) -> None:
         """Fused FPE->TRAP delivery: run the SIGTRAP handler in this step.
@@ -480,11 +516,15 @@ class CPU:
         task.stime_cycles += costs.fault_entry
         kernel.cycles += costs.fault_entry
         info = SigInfo(signo=Signal.SIGTRAP, code=TRAP_TRACE_CODE)
+        if self._tr is not None:
+            self._tr.trap_queued(task, True)
         if self._t_signals is not None:
             self._t_signals.inc(info.signo)
         task.stime_cycles += costs.signal_deliver
         kernel.cycles += costs.signal_deliver
         uctx = self._build_ucontext(task, info)
+        if self._tr is not None:
+            self._tr.signal_delivered(task, info.signo, info.code, uctx.mcontext)
         disposition(info.signo, info, uctx)
         self._apply_handler_writes(task, uctx)
         kernel.defer_timers_once(floor)

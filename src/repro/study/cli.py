@@ -9,6 +9,8 @@ Commands
 ``spy``       run one named application under FPSpy and dump its traces
 ``telemetry`` run an app with the telemetry bus on and dump/diff snapshots
 ``campaign``  shard a batch of independent spy runs across host cores
+``trace``     flight-recorder runs: record/export span trees, print
+              NaN/Inf provenance coils and origin rollups
 """
 
 from __future__ import annotations
@@ -180,6 +182,7 @@ def _cmd_campaign_run(args) -> int:
         campaign = build_campaign(
             args.spec, scale=args.scale, seed=args.seed,
             telemetry=True if args.telemetry else None,
+            tracing=True if args.tracing else None,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -212,6 +215,149 @@ def _cmd_campaign_run(args) -> int:
         # The runner wrote these atomically as it went.
         print(f"wrote {out / 'campaign_report.txt'} and {out / 'campaign.json'}")
     return 1 if result.failed else 0
+
+
+def _trace_kernel(args):
+    """Run one app (or the constructed ``nanchain`` provenance program)
+    under the flight recorder; returns ``(kernel, expected)`` where
+    ``expected`` is the nanchain origin map (else None)."""
+    from repro.fpspy import fpspy_env
+    from repro.kernel.kernel import Kernel, KernelConfig
+
+    kernel = Kernel(KernelConfig(
+        tracing=True,
+        trace_capacity=args.capacity,
+        telemetry=bool(getattr(args, "telemetry", False)),
+    ))
+    env = {} if args.mode == "none" else fpspy_env(args.mode)
+    expected = None
+    if args.app == "nanchain":
+        from repro.validation.programs import provenance_program
+
+        launch, expected = provenance_program()
+        launch(kernel, env)
+    else:
+        from repro.apps import APPLICATIONS
+
+        if args.app not in APPLICATIONS:
+            names = APPLICATIONS.names() + ["nanchain"]
+            print(f"unknown app {args.app!r}; choose from {names}",
+                  file=sys.stderr)
+            return None, None
+        app = APPLICATIONS.create(args.app, scale=args.scale)
+        kernel.exec_process(app.main, env=env, name=app.name)
+    kernel.run()
+    return kernel, expected
+
+
+def _cmd_trace_record(args) -> int:
+    import pathlib
+
+    from repro.telemetry.tracing import to_binary, to_chrome_json
+
+    kernel, _ = _trace_kernel(args)
+    if kernel is None:
+        return 2
+    tr = kernel.tracer
+    print(f"spans {tr.recorded}  dropped {tr.dropped}  "
+          f"trees {tr.trees_completed}  open {tr.open_trees()}")
+    if args.bin:
+        path = pathlib.Path(args.bin)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(to_binary(tr.spans()))
+        print(f"wrote {path} ({len(tr.spans())} packed spans)")
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_chrome_json(tr.spans()))
+        print(f"wrote {path}")
+    if not args.bin and not args.json:
+        text = kernel.vfs.read("/proc/fpspy/trace").decode()
+        for line in text.splitlines()[: args.limit + 1]:
+            print(line)
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    import pathlib
+
+    from repro.telemetry.tracing import to_chrome_json
+
+    kernel, _ = _trace_kernel(args)
+    if kernel is None:
+        return 2
+    tr = kernel.tracer
+    out = args.out or f"{args.app}.trace.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_chrome_json(tr.spans()))
+    print(f"wrote {path}: {tr.recorded} spans, {tr.trees_completed} "
+          f"trap trees (load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _coil_lines(prov, limit: int) -> list[str]:
+    lines = [f"{'origin':>12s} {'kind':<7s} {'form':<10s} "
+             f"{'props':>6s} {'sinks':>6s}  sink sites"]
+    for coil in prov.coils()[:limit]:
+        org = coil.origin
+        where = " ".join(f"0x{rip:x}@{cyc}" for rip, cyc in coil.sinks[:3])
+        tag = " (consumed)" if org.consumed else ""
+        lines.append(
+            f"{org.rip:#12x} {org.kind:<7s} {org.mnemonic:<10s} "
+            f"{coil.propagations:>6d} {coil.sink_count:>6d}  {where}{tag}"
+        )
+    return lines
+
+
+def _cmd_trace_coils(args) -> int:
+    kernel, expected = _trace_kernel(args)
+    if kernel is None:
+        return 2
+    prov = kernel.provenance
+    print(f"coils: {len(prov.coils())} origins, "
+          f"{prov.observed} operations observed")
+    for line in _coil_lines(prov, args.limit):
+        print(line)
+    if expected is None:
+        return 0
+    # nanchain acceptance: every constructed kill site must trace back to
+    # its true origin RIP with the right kind.
+    failures = []
+    coils = prov.coils()
+    for sink_rip, (origin_rip, kind) in sorted(expected.items()):
+        hit = any(
+            c.origin.rip == origin_rip
+            and c.origin.kind == kind
+            and any(rip == sink_rip for rip, _ in c.sinks)
+            for c in coils
+        )
+        if not hit:
+            failures.append(
+                f"sink 0x{sink_rip:x} not attributed to "
+                f"{kind} origin 0x{origin_rip:x}"
+            )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"verified: {len(expected)}/{len(expected)} sinks attributed "
+          f"to their true origin RIPs")
+    return 0
+
+
+def _cmd_trace_top(args) -> int:
+    kernel, _ = _trace_kernel(args)
+    if kernel is None:
+        return 2
+    prov = kernel.provenance
+    print(f"{'origin':>18s} {'kind':<7s} {'form':<10s} "
+          f"{'origins':>8s} {'props':>6s} {'sinks':>6s}")
+    for row in prov.top()[: args.limit]:
+        print(f"0x{row['rip']:>16x} {row['kind']:<7s} {row['mnemonic']:<10s} "
+              f"{row['origins']:>8d} {row['propagations']:>6d} "
+              f"{row['sinks']:>6d}")
+    return 0
 
 
 def _cmd_campaign_status(args) -> int:
@@ -313,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--telemetry", action="store_true",
                       help="run every spec with the telemetry bus on and "
                            "merge the snapshots")
+    crun.add_argument("--tracing", action="store_true",
+                      help="run every spec with the flight recorder on; "
+                           "merge provenance rollups and (with --out) "
+                           "write per-run trace artifacts")
     crun.add_argument("--memo-cache", default=None, metavar="PATH",
                       help="persistent softfloat memo cache file "
                            "('off' or omitted: cold runs, no publish)")
@@ -326,6 +476,49 @@ def build_parser() -> argparse.ArgumentParser:
     cstat.add_argument("--out", required=True,
                        help="the campaign's artifact directory")
     cstat.set_defaults(fn=_cmd_campaign_status)
+
+    trc = sub.add_parser(
+        "trace", help="flight recorder: span trees and NaN/Inf provenance")
+    trcsub = trc.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_common(sp):
+        sp.add_argument("app",
+                        help="application name, or 'nanchain' for the "
+                             "constructed provenance program")
+        sp.add_argument("--mode", default="individual",
+                        choices=["aggregate", "individual", "none"],
+                        help="FPSpy mode ('none': run without FPSpy)")
+        sp.add_argument("--scale", type=float, default=0.5)
+        sp.add_argument("--capacity", type=int, default=65536,
+                        help="span ring-buffer capacity")
+        sp.add_argument("--limit", type=int, default=20,
+                        help="rows/lines printed")
+
+    trec = trcsub.add_parser(
+        "record", help="record a run; print the span log or save it")
+    _trace_common(trec)
+    trec.add_argument("--bin", default=None,
+                      help="write packed SpanRecord binary here")
+    trec.add_argument("--json", default=None,
+                      help="write Chrome trace-event JSON here")
+    trec.set_defaults(fn=_cmd_trace_record)
+
+    texp = trcsub.add_parser(
+        "export", help="export Chrome trace-event JSON for Perfetto")
+    _trace_common(texp)
+    texp.add_argument("--out", default=None,
+                      help="output path (default <app>.trace.json)")
+    texp.set_defaults(fn=_cmd_trace_export)
+
+    tcoil = trcsub.add_parser(
+        "coils", help="per-origin NaN/Inf/denorm propagation chains")
+    _trace_common(tcoil)
+    tcoil.set_defaults(fn=_cmd_trace_coils)
+
+    ttop = trcsub.add_parser(
+        "top", help="origin-site rollup ranked by propagation length")
+    _trace_common(ttop)
+    ttop.set_defaults(fn=_cmd_trace_top)
     return p
 
 

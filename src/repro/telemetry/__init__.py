@@ -40,15 +40,29 @@ from repro.telemetry.snapshot import (
     flatten_snapshot,
     merge_snapshots,
 )
+from repro.telemetry.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceRecorder,
+    from_chrome_json,
+    to_chrome_json,
+)
 
 __all__ = [
     "NULL_BUS",
+    "NULL_TRACER",
     "Counter",
     "LabeledCounter",
     "NullBus",
+    "NullTracer",
     "Scope",
+    "Span",
     "TelemetryBus",
+    "TraceRecorder",
     "diff_snapshots",
     "flatten_snapshot",
+    "from_chrome_json",
     "merge_snapshots",
+    "to_chrome_json",
 ]

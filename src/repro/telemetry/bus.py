@@ -135,6 +135,10 @@ class Scope:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._events: deque = deque(maxlen=EVENT_WINDOW)
+        #: Events pushed out of the bounded window (surfaced in
+        #: snapshots as ``events.dropped`` so truncation is never
+        #: silent; see also the flight recorder's ``trace.ring.dropped``).
+        self.events_dropped = 0
         self.state: dict = {}
 
     def counter(self, name: str) -> Counter:
@@ -162,6 +166,8 @@ class Scope:
 
     def event(self, name: str, cycles: int, **fields) -> None:
         """Record a structured span event stamped with a sim-cycle time."""
+        if len(self._events) == EVENT_WINDOW:
+            self.events_dropped += 1
         self._events.append((cycles, name, fields))
 
     def events(self) -> list[tuple[int, str, dict]]:
@@ -178,8 +184,11 @@ class Scope:
         the last writer).  This form keeps them apart; see
         :func:`repro.telemetry.snapshot.merge_snapshots`.
         """
+        counters = {n: c.value for n, c in self._counters.items()}
+        if self.events_dropped:
+            counters["events.dropped"] = self.events_dropped
         return {
-            "counters": {n: c.value for n, c in self._counters.items()},
+            "counters": counters,
             "labeled": {n: lc.as_dict() for n, lc in self._labeled.items()},
             "histograms": {
                 n: {
@@ -211,6 +220,8 @@ class Scope:
                     out[f"{name}.{k}" if name else k] = v
             else:
                 out[name] = sampled
+        if self.events_dropped:
+            out["events.dropped"] = self.events_dropped
         return out
 
 

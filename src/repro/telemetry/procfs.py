@@ -15,6 +15,7 @@ Files::
     /proc/fpspy/counters       flat "scope.key value" lines (text)
     /proc/fpspy/snapshot.json  the full snapshot (JSON)
     /proc/fpspy/events         span events, one per line, cycle-stamped
+    /proc/fpspy/trace          flight-recorder spans (KernelConfig.tracing)
 
 Rendering is pull-based: nothing is materialized until a read, and the
 renderers here are exactly what the ``repro telemetry`` CLI uses, so the
@@ -98,3 +99,17 @@ def mount_proc(kernel: "Kernel") -> None:
         PROC_ROOT + "snapshot.json", profiled(lambda: render_snapshot_json(bus))
     )
     vfs.register_provider(PROC_ROOT + "events", profiled(lambda: render_events(bus)))
+
+
+def mount_trace(kernel: "Kernel") -> None:
+    """Register ``/proc/fpspy/trace`` (flight-recorder spans).
+
+    Independent of :func:`mount_proc`: tracing can be on without the
+    telemetry bus, and the renderer reads the recorder directly.
+    """
+    from repro.telemetry.tracing import render_trace_text
+
+    kernel.vfs.register_provider(
+        PROC_ROOT + "trace",
+        lambda: render_trace_text(kernel.tracer).encode(),
+    )

@@ -1,0 +1,490 @@
+"""The trap-lifecycle flight recorder: a ring-buffered causal span tracer.
+
+Every FP trap the simulated machine takes is a short causal story --
+fault raised (CPU, pre-writeback), signal queued, signal delivered
+(kernel, mcontext snapshot), handler entry (FPSpy engine), decode,
+emulate/memo-hit, writeback, TF single-step trap, re-mask/re-arm -- and
+this module records that story as a linked chain of cycle-stamped
+:class:`Span` records with parent/child IDs, so one guest FP event is
+one causal tree (DESIGN.md decision #10).
+
+Design rules, mirroring the telemetry bus (decision #8):
+
+* **Sim-cycle timestamps.**  Spans are stamped with the kernel's cycle
+  counter, never host wall-clock, so recorded timelines are
+  deterministic and replayable.
+* **Zero perturbation.**  Stamping a span never charges cycles, posts
+  signals, or touches architectural state; guest-visible traces and
+  cycle counts are byte-identical with tracing on or off
+  (``tests/property/test_tracing_props.py``).
+* **Bounded, never silent.**  Spans live in a ring buffer; overflow
+  drops the *oldest* span and counts the drop, surfaced through the
+  telemetry bus (``trace.ring.dropped`` in ``/proc/fpspy/counters``)
+  and the ``/proc/fpspy/trace`` header.
+* **Module-level no-op path.**  :data:`NULL_TRACER` is falsy and every
+  method is an inert no-op; hot sites pre-fetch
+  ``kernel.tracer if kernel.tracer else None`` and pay one
+  ``is not None`` branch when tracing is disabled.
+
+Exports: Chrome trace-event JSON (loads in ``chrome://tracing`` and
+Perfetto; :func:`to_chrome_json` / :func:`from_chrome_json` round-trip),
+packed binary via the :mod:`repro.trace.records` span-record layout, and
+a text rendering mounted at ``/proc/fpspy/trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.kernel.signals import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+#: Default ring capacity: generous for whole-app individual-mode runs
+#: while bounding memory on trap storms (drops are counted, not silent).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class Span:
+    """One cycle-stamped node of a trap-lifecycle tree.
+
+    ``parent_id == 0`` marks a tree root.  ``args`` carries only
+    JSON-safe scalars (ints and strings) so every export format can
+    round-trip it.
+    """
+
+    span_id: int
+    parent_id: int
+    name: str
+    cycles: int
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """The per-kernel flight recorder.
+
+    Call sites are semantic lifecycle hooks (``fp_fault``,
+    ``signal_delivered``, ``handler_entry``, ...); the recorder owns the
+    per-task state machine that turns them into a parented span tree, so
+    the machine/kernel/engine layers never track span IDs themselves.
+
+    The causal shape of one individual-mode FP event::
+
+        fp_fault                     (root: CPU raises the precise fault)
+        +- signal_queued             (kernel queues SIGFPE)
+        +- signal_delivered SIGFPE   (kernel crossing, mcontext snapshot)
+           +- handler sigfpe         (FPSpy engine entry)
+           |  +- decode              (instruction bytes -> form)
+           |  +- record              (trace record appended)
+           |  +- handler_ret
+           +- emulate                (masked re-execution; memo_hit flag)
+           +- writeback              (results retire)
+           +- tf_trap                (TF single-step trap; fused flag)
+           +- signal_delivered SIGTRAP
+              +- handler sigtrap
+                 +- rearm            (unmask capture set, clear TF)
+                 +- handler_ret      (tree completes)
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        kernel: "Kernel | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+        telemetry=None,
+    ) -> None:
+        self.kernel = kernel
+        self.capacity = max(16, int(capacity))
+        self._spans: deque[Span] = deque(maxlen=self.capacity)
+        self._next_id = 1
+        #: Per-task open-tree state: ``{"root", "anchor", "delivered",
+        #: "handler"}`` span ids (0 = unset).
+        self._live: dict = {}
+        self.recorded = 0
+        self.dropped = 0
+        self.trees_completed = 0
+        # Ring drop/volume counters ride the telemetry bus when it is on
+        # (satellite: truncated traces are never silent).
+        if telemetry:
+            sc = telemetry.scope("trace")
+            self._t_spans = sc.counter("spans")
+            self._t_dropped = sc.counter("ring.dropped")
+            self._t_trees = sc.counter("trees.completed")
+            sc.gauge("ring.size", lambda: len(self._spans))
+            sc.gauge("ring.capacity", lambda: self.capacity)
+            sc.gauge("trees.open", lambda: len(self._live))
+        else:
+            self._t_spans = None
+            self._t_dropped = None
+            self._t_trees = None
+
+    def __bool__(self) -> bool:
+        return True
+
+    @property
+    def cycles(self) -> int:
+        return self.kernel.cycles if self.kernel is not None else 0
+
+    # ----------------------------------------------------------- stamping
+
+    def _stamp(self, task: "Task", name: str, parent: int, **args) -> int:
+        sid = self._next_id
+        self._next_id += 1
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+            if self._t_dropped is not None:
+                self._t_dropped.value += 1
+        self._spans.append(
+            Span(sid, parent, name, self.cycles, task.process.pid, task.tid, args)
+        )
+        self.recorded += 1
+        if self._t_spans is not None:
+            self._t_spans.value += 1
+        return sid
+
+    def _complete(self, task: "Task") -> None:
+        if self._live.pop(task, None) is not None:
+            self.trees_completed += 1
+            if self._t_trees is not None:
+                self._t_trees.value += 1
+
+    # ------------------------------------------------- lifecycle hooks
+
+    def fp_fault(self, task: "Task", rip: int, sicode: int, flags: int) -> None:
+        """The CPU raised a precise FP fault (pre-writeback) and queued
+        its SIGFPE.  Opens this task's trap tree (or stamps a nested
+        fault if one is already open)."""
+        st = self._live.get(task)
+        if st is None:
+            root = self._stamp(
+                task, "fp_fault", 0, rip=rip, sicode=sicode, flags=flags
+            )
+            self._live[task] = {
+                "root": root, "anchor": root, "delivered": 0, "handler": 0,
+            }
+            st = self._live[task]
+        else:
+            self._stamp(
+                task, "fp_fault", st["anchor"], rip=rip, sicode=sicode,
+                flags=flags,
+            )
+        self._stamp(task, "signal_queued", st["root"], signo=int(Signal.SIGFPE))
+
+    def signal_delivered(self, task: "Task", signo, code: int, mctx) -> None:
+        """The kernel is crossing into a user handler; ``mctx`` is the
+        exact mcontext snapshot the handler will see."""
+        st = self._live.get(task)
+        parent = st["anchor"] if st is not None else 0
+        sid = self._stamp(
+            task, "signal_delivered", parent,
+            signo=int(signo), code=int(code), rip=mctx.rip, rsp=mctx.rsp,
+            eflags=mctx.eflags, mxcsr=mctx.mxcsr,
+        )
+        if st is not None:
+            st["delivered"] = sid
+            if signo == Signal.SIGFPE:
+                # Everything after a delivered SIGFPE -- handler, masked
+                # re-execution, single-step trap -- is causally its child.
+                st["anchor"] = sid
+
+    def handler_entry(self, task: "Task", kind: str, rip: int = 0) -> None:
+        st = self._live.get(task)
+        if st is None:
+            self._stamp(task, "handler", 0, kind=kind, rip=rip)
+            return
+        parent = st["delivered"] or st["anchor"]
+        st["handler"] = self._stamp(task, "handler", parent, kind=kind, rip=rip)
+
+    def decode(self, task: "Task", rip: int, insn: bytes) -> None:
+        st = self._live.get(task)
+        if st is None:
+            return
+        parent = st["handler"] or st["anchor"]
+        self._stamp(task, "decode", parent, rip=rip, insn=insn.hex())
+
+    def record(self, task: "Task", seq: int) -> None:
+        st = self._live.get(task)
+        if st is None:
+            return
+        parent = st["handler"] or st["anchor"]
+        self._stamp(task, "record", parent, seq=seq)
+
+    def handler_exit(self, task: "Task", kind: str, action: str) -> None:
+        st = self._live.get(task)
+        if st is None:
+            return
+        parent = st["handler"] or st["anchor"]
+        self._stamp(task, "handler_ret", parent, kind=kind, action=action)
+        st["handler"] = 0
+        if kind == "sigtrap":
+            # Re-mask/re-arm done: the Figure 5 cycle is closed.
+            self._complete(task)
+
+    def rearm(self, task: "Task", mxcsr: int, tf: bool) -> None:
+        st = self._live.get(task)
+        if st is None:
+            return
+        parent = st["handler"] or st["anchor"]
+        self._stamp(task, "rearm", parent, mxcsr=mxcsr, tf=int(tf))
+
+    def fp_retired(self, task: "Task", rip: int, memo_hit) -> None:
+        """The faulting instruction re-executed (masked) and retired.
+        No-op unless this task has an open trap tree, so the CPU may
+        call it on every FP retirement."""
+        st = self._live.get(task)
+        if st is None:
+            return
+        args = {"rip": rip}
+        if memo_hit is not None:
+            args["memo_hit"] = int(memo_hit)
+        self._stamp(task, "emulate", st["anchor"], **args)
+        self._stamp(task, "writeback", st["anchor"], rip=rip)
+        if not task.trap_flag:
+            # No single-step trap will follow (handler disarmed or the
+            # app's handler never set TF): the tree ends at writeback.
+            self._complete(task)
+
+    def emulated(self, task: "Task", rip: int) -> None:
+        """A handler supplied ``emulated_results``: trap-and-emulate
+        retirement without re-execution."""
+        st = self._live.get(task)
+        if st is None:
+            return
+        self._stamp(task, "emulate", st["anchor"], rip=rip, emulated=1)
+        self._stamp(task, "writeback", st["anchor"], rip=rip)
+        if not task.trap_flag:
+            self._complete(task)
+
+    def trap_queued(self, task: "Task", fused: bool) -> None:
+        """The TF single-step trap was raised (posted, or fused inline)."""
+        st = self._live.get(task)
+        parent = st["anchor"] if st is not None else 0
+        self._stamp(task, "tf_trap", parent, fused=int(fused))
+
+    def chunk(self, task: "Task", rip: int, groups: int) -> None:
+        """Coarse span for one vectorized quiescent block chunk: the
+        fast path stamps the batch, never per-instruction detail."""
+        self._stamp(task, "block_chunk", 0, rip=rip, groups=groups)
+
+    # ------------------------------------------------------------ reads
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def open_trees(self) -> int:
+        return len(self._live)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._live.clear()
+
+
+# ------------------------------------------------------------- exports
+
+
+def _subtree_ends(spans: list[Span]) -> dict[int, int]:
+    """Map ``span_id -> max cycle over the span and its descendants``.
+
+    Children are always created after their parents, so walking in
+    descending span-id order resolves every child before its parent.
+    """
+    children: dict[int, list[int]] = {}
+    ends: dict[int, int] = {}
+    for s in spans:
+        children.setdefault(s.parent_id, []).append(s.span_id)
+    for s in sorted(spans, key=lambda s: -s.span_id):
+        end = s.cycles
+        for cid in children.get(s.span_id, ()):
+            end = max(end, ends.get(cid, 0))
+        ends[s.span_id] = end
+    return ends
+
+
+def to_chrome_json(spans: list[Span]) -> str:
+    """Chrome trace-event JSON (``chrome://tracing`` / Perfetto).
+
+    Each span becomes a complete ("X") event whose duration covers its
+    subtree, so a trap tree renders as nested slices on the task's
+    track.  Timestamps are sim-cycles (view as "one cycle = one
+    microsecond"); ``args`` carries the span/parent IDs and the raw
+    cycle stamp so :func:`from_chrome_json` rebuilds the exact tree.
+    """
+    ends = _subtree_ends(spans)
+    events = []
+    for s in spans:
+        args = {"span_id": s.span_id, "parent_id": s.parent_id,
+                "cycles": s.cycles}
+        args.update(s.args)
+        events.append({
+            "name": s.name,
+            "cat": "fpspy",
+            "ph": "X",
+            "ts": s.cycles,
+            "dur": max(ends[s.span_id] - s.cycles, 1),
+            "pid": s.pid,
+            "tid": s.tid,
+            "args": args,
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "sim-cycles", "source": "repro.telemetry.tracing"},
+    }
+    return json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def from_chrome_json(text: str) -> list[Span]:
+    """Rebuild the span list from an exported Chrome trace-event JSON."""
+    doc = json.loads(text)
+    spans = []
+    for ev in doc["traceEvents"]:
+        args = dict(ev["args"])
+        sid = args.pop("span_id")
+        parent = args.pop("parent_id")
+        cycles = args.pop("cycles")
+        spans.append(
+            Span(sid, parent, ev["name"], cycles, ev["pid"], ev["tid"], args)
+        )
+    spans.sort(key=lambda s: s.span_id)
+    return spans
+
+
+def to_binary(spans: list[Span]) -> bytes:
+    """Packed binary spans via the :mod:`repro.trace.records` layout."""
+    from repro.trace.records import SpanRecord, pack_span
+
+    out = bytearray()
+    for s in spans:
+        detail = ";".join(f"{k}={v}" for k, v in sorted(s.args.items()))
+        out += pack_span(SpanRecord(
+            span_id=s.span_id, parent_id=s.parent_id, cycles=s.cycles,
+            pid=s.pid, tid=s.tid, name=s.name, args=detail,
+        ))
+    return bytes(out)
+
+
+def spans_from_binary(data: bytes) -> list[Span]:
+    """Rebuild :class:`Span` objects from the packed record layout.
+
+    The fixed-width args field is lossy (truncated at 64 bytes; JSON is
+    the lossless format); surviving ``k=v`` items parse back as ints
+    where possible, else strings.
+    """
+    from repro.trace.records import unpack_spans
+
+    spans = []
+    for r in unpack_spans(data):
+        args: dict = {}
+        for item in r.args.split(";") if r.args else ():
+            k, _, v = item.partition("=")
+            if not k:
+                continue
+            try:
+                args[k] = int(v)
+            except ValueError:
+                args[k] = v
+        spans.append(
+            Span(r.span_id, r.parent_id, r.name, r.cycles, r.pid, r.tid, args)
+        )
+    return spans
+
+
+def render_trace_text(recorder: "TraceRecorder") -> str:
+    """The ``/proc/fpspy/trace`` rendering: a drop-accounting header
+    plus one line per span, cycle-ordered."""
+    rows = []
+    for s in recorder.spans():
+        detail = " ".join(f"{k}={v}" for k, v in sorted(s.args.items()))
+        rows.append((
+            s.cycles, s.span_id,
+            f"{s.cycles} {s.pid}:{s.tid} #{s.span_id}<-{s.parent_id} "
+            f"{s.name} {detail}".rstrip(),
+        ))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    header = (
+        f"# spans {recorder.recorded} dropped {recorder.dropped} "
+        f"trees {recorder.trees_completed} open {recorder.open_trees()} "
+        f"capacity {recorder.capacity}\n"
+    )
+    return header + "\n".join(r[2] for r in rows) + ("\n" if rows else "")
+
+
+# ---------------------------------------------------------- no-op path
+
+
+class NullTracer:
+    """The module-level no-op recorder.
+
+    Falsy, so ``tr = kernel.tracer`` followed by ``if tr:`` (or the
+    pre-fetched ``self._tr = kernel.tracer if kernel.tracer else None``
+    idiom) is the entire disabled-mode cost of a hook site; every method
+    is an inert no-op for code off the hot path.
+    """
+
+    __slots__ = ()
+    enabled = False
+    kernel = None
+    capacity = 0
+    recorded = 0
+    dropped = 0
+    trees_completed = 0
+    cycles = 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def fp_fault(self, *a, **k) -> None:
+        pass
+
+    def signal_delivered(self, *a, **k) -> None:
+        pass
+
+    def handler_entry(self, *a, **k) -> None:
+        pass
+
+    def decode(self, *a, **k) -> None:
+        pass
+
+    def record(self, *a, **k) -> None:
+        pass
+
+    def handler_exit(self, *a, **k) -> None:
+        pass
+
+    def rearm(self, *a, **k) -> None:
+        pass
+
+    def fp_retired(self, *a, **k) -> None:
+        pass
+
+    def emulated(self, *a, **k) -> None:
+        pass
+
+    def trap_queued(self, *a, **k) -> None:
+        pass
+
+    def chunk(self, *a, **k) -> None:
+        pass
+
+    def spans(self) -> list:
+        return []
+
+    def open_trees(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+
+#: The one shared disabled recorder: ``kernel.tracer`` is this exact
+#: object whenever ``KernelConfig.tracing`` is off.
+NULL_TRACER = NullTracer()

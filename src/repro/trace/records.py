@@ -124,6 +124,74 @@ def records_to_numpy(data: bytes) -> np.ndarray:
     return np.frombuffer(data, dtype=RECORD_DTYPE)
 
 
+_SPAN_STRUCT = struct.Struct("<QQQII16s64s")
+SPAN_RECORD_SIZE = _SPAN_STRUCT.size
+assert SPAN_RECORD_SIZE == 112
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One packed flight-recorder span (112 bytes, little-endian).
+
+    ======  =====  ====================================================
+    offset  type   field
+    ======  =====  ====================================================
+    0       u64    span id (monotonic, per recorder)
+    8       u64    parent span id (0 = tree root)
+    16      u64    cycle stamp (simulated cycles)
+    24      u32    pid
+    28      u32    tid
+    32      16B    span name (utf-8, zero padded)
+    48      64B    detail string ``k=v;k=v`` (utf-8, truncated)
+    ======  =====  ====================================================
+
+    The binary form is the compact archival format; the detail string is
+    lossy past 64 bytes.  The Chrome trace-event JSON export is the
+    lossless round-trip format (:mod:`repro.telemetry.tracing`).
+    """
+
+    span_id: int
+    parent_id: int
+    cycles: int
+    pid: int
+    tid: int
+    name: str
+    args: str
+
+
+def pack_span(rec: SpanRecord) -> bytes:
+    return _SPAN_STRUCT.pack(
+        rec.span_id,
+        rec.parent_id,
+        rec.cycles,
+        rec.pid,
+        rec.tid,
+        rec.name.encode()[:16].ljust(16, b"\x00"),
+        rec.args.encode()[:64].ljust(64, b"\x00"),
+    )
+
+
+def unpack_spans(data: bytes) -> list[SpanRecord]:
+    if len(data) % SPAN_RECORD_SIZE:
+        raise ValueError(
+            f"span trace length {len(data)} is not a multiple of "
+            f"{SPAN_RECORD_SIZE}"
+        )
+    out = []
+    for offset in range(0, len(data), SPAN_RECORD_SIZE):
+        sid, parent, cycles, pid, tid, name, args = _SPAN_STRUCT.unpack_from(
+            data, offset
+        )
+        out.append(
+            SpanRecord(
+                span_id=sid, parent_id=parent, cycles=cycles, pid=pid,
+                tid=tid, name=name.rstrip(b"\x00").decode(),
+                args=args.rstrip(b"\x00").decode(errors="replace"),
+            )
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class AggregateRecord:
     """One decoded aggregate-mode record (one text line per thread)."""

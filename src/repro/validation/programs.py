@@ -200,6 +200,69 @@ def build_program(model: str, recipes: dict[str, EventRecipe]):
     return launch, constructed
 
 
+def provenance_program():
+    """Constructed NaN/Inf/denorm coils with a known origin->sink map.
+
+    Three chains, each origin -> propagate (x2) -> kill, using values
+    whose bit patterns cannot collide across chains:
+
+    * ``0.0 / 0.0`` makes the indefinite NaN; it rides two ``addsd``
+      and dies at a ``maxsd`` (x64 max forwards the *second* operand on
+      NaN, so the result is an ordinary 1.0).
+    * ``1.0 / 0.0`` makes +Inf; it doubles through ``mulsd`` and dies
+      at ``1.0 / Inf -> +0.0``.
+    * ``1e-160 * 1e-160`` underflows to a subnormal; it doubles
+      (still subnormal) and dies at ``+ 1.0 -> 1.0``.
+
+    Returns ``(launch, expected)`` where ``expected`` maps each kill
+    site's RIP to ``(origin RIP, kind)`` -- the ground truth the
+    ``trace coils`` acceptance check replays against the tracker.
+    """
+    layout = CodeLayout()
+    s = {
+        "nan_origin": layout.site("divsd"),
+        "nan_prop": layout.site("addsd"),
+        "nan_kill": layout.site("maxsd"),
+        "inf_origin": layout.site("divsd"),
+        "inf_prop": layout.site("mulsd"),
+        "inf_kill": layout.site("divsd"),
+        "den_origin": layout.site("mulsd"),
+        "den_prop": layout.site("mulsd"),
+        "den_kill": layout.site("addsd"),
+    }
+    ONE, ZERO, TWO = b64(1.0), b64(0.0), b64(2.0)
+    TINY = b64(1e-160)
+
+    def main():
+        # NaN chain.
+        nan = (yield FPInstruction(s["nan_origin"], ((ZERO, ZERO),)))[0]
+        nan = (yield FPInstruction(s["nan_prop"], ((nan, ONE),)))[0]
+        nan = (yield FPInstruction(s["nan_prop"], ((nan, ONE),)))[0]
+        yield FPInstruction(s["nan_kill"], ((nan, ONE),))
+        yield IntWork(10)
+        # Inf chain.
+        inf = (yield FPInstruction(s["inf_origin"], ((ONE, ZERO),)))[0]
+        inf = (yield FPInstruction(s["inf_prop"], ((inf, TWO),)))[0]
+        inf = (yield FPInstruction(s["inf_prop"], ((inf, TWO),)))[0]
+        yield FPInstruction(s["inf_kill"], ((ONE, inf),))
+        yield IntWork(10)
+        # Denorm chain.
+        den = (yield FPInstruction(s["den_origin"], ((TINY, TINY),)))[0]
+        den = (yield FPInstruction(s["den_prop"], ((den, TWO),)))[0]
+        den = (yield FPInstruction(s["den_prop"], ((den, TWO),)))[0]
+        yield FPInstruction(s["den_kill"], ((den, ONE),))
+
+    def launch(kernel, env=None):
+        kernel.exec_process(main, env=dict(env or {}), name="nanchain")
+
+    expected = {
+        s["nan_kill"].address: (s["nan_origin"].address, "nan"),
+        s["inf_kill"].address: (s["inf_origin"].address, "inf"),
+        s["den_kill"].address: (s["den_origin"].address, "denorm"),
+    }
+    return launch, expected
+
+
 def _default_recipes(model: str) -> dict[str, EventRecipe]:
     """Spread all six events across the model's threads."""
     if model in ("single-thread", "signal-confounded"):

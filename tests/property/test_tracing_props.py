@@ -1,0 +1,184 @@
+"""The flight recorder must be observation-invisible (DESIGN.md #10).
+
+Two properties:
+
+* the Chrome trace-event export is lossless -- export, parse, and the
+  exact span tree comes back -- for arbitrary trees, not just ones the
+  recorder happens to emit today;
+* turning the recorder (and provenance tracker) on leaves every
+  guest-visible byte and the cycle clock identical on random programs,
+  including full FPSpy handler traffic over special operands.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpspy import fpspy_env
+from repro.guest.ops import LibcCall
+from repro.guest.program import KernelBuilder
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.signals import Signal
+from repro.telemetry.procfs import PROC_ROOT
+from repro.telemetry.tracing import Span, from_chrome_json, to_chrome_json
+
+_SPECIALS64 = [
+    0x0000000000000000, 0x8000000000000000,
+    0x7FF0000000000000, 0xFFF0000000000000,
+    0x7FF8000000000000, 0x7FF4000000000000,
+    0x0000000000000001, 0x800FFFFFFFFFFFFF,
+    0x0010000000000000, 0x7FEFFFFFFFFFFFFF,
+    0x3FF0000000000000, 0xBFE0000000000000,
+]
+
+bits64 = st.one_of(
+    st.sampled_from(_SPECIALS64),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+
+_NAMES = ["fp_fault", "signal_delivered", "handler", "decode", "emulate",
+          "writeback", "tf_trap", "rearm", "block_chunk"]
+
+_arg_values = st.one_of(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def span_trees(draw):
+    """Random forests with valid parent links (children after parents)."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    spans = []
+    cycle = 0
+    for i in range(1, n + 1):
+        parent = 0 if i == 1 else draw(
+            st.sampled_from([0] + [s.span_id for s in spans[-8:]]))
+        cycle += draw(st.integers(min_value=0, max_value=500))
+        args = draw(st.dictionaries(
+            st.sampled_from(["rip", "signo", "kind", "insn", "x"]),
+            _arg_values, max_size=3,
+        ))
+        spans.append(Span(
+            span_id=i, parent_id=parent,
+            name=draw(st.sampled_from(_NAMES)), cycles=cycle,
+            pid=draw(st.integers(min_value=1, max_value=9)),
+            tid=draw(st.integers(min_value=1, max_value=9)),
+            args=args,
+        ))
+    return spans
+
+
+@settings(max_examples=50, deadline=None)
+@given(spans=span_trees())
+def test_chrome_json_roundtrip(spans):
+    assert from_chrome_json(to_chrome_json(spans)) == spans
+
+
+def _guest_state(k):
+    """Every guest-visible VFS byte; ``/proc/fpspy/`` is host-synthetic
+    and legitimately exists only when the recorder mounts its file."""
+    return {
+        p: k.vfs.read(p)
+        for p in k.vfs.listdir("")
+        if not p.startswith(PROC_ROOT)
+    }
+
+
+def _run(mnemonic, streams, interleave, capture, *, tracing):
+    kb = KernelBuilder()
+    site = kb.site(mnemonic)
+    k = Kernel(KernelConfig(tracing=tracing))
+    events = []
+    out = {}
+
+    def on_fpe(signo, info, uctx):
+        events.append(("fpe", info.code, info.addr, k.current_task.vtime,
+                       uctx.mcontext.mxcsr))
+        uctx.mcontext.mxcsr |= 0x1F80
+        uctx.mcontext.trap_flag = True
+
+    def on_trap(signo, info, uctx):
+        events.append(("trap", k.current_task.vtime))
+        uctx.mcontext.mxcsr &= ~(capture << 7)
+        uctx.mcontext.trap_flag = False
+
+    def main():
+        yield LibcCall("sigaction", (int(Signal.SIGFPE), on_fpe))
+        yield LibcCall("sigaction", (int(Signal.SIGTRAP), on_trap))
+        if capture:
+            yield LibcCall("feenableexcept", (capture,))
+        out["results"] = yield from kb.emit(
+            site, *streams, interleave=interleave
+        )
+
+    proc = k.exec_process(main, env={}, name="prop")
+    k.run()
+    task = proc.main_task
+    return {
+        "results": list(out["results"]),
+        "events": events,
+        "vtime": task.vtime,
+        "mxcsr": task.mxcsr.value,
+        "utime": task.utime_cycles,
+        "stime": task.stime_cycles,
+        "cycles": k.cycles,
+        "state": _guest_state(k),
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mnemonic=st.sampled_from(["addsd", "mulsd", "divsd", "sqrtpd", "mulpd"]),
+    data=st.data(),
+    n=st.integers(min_value=1, max_value=24),
+    interleave=st.sampled_from([0, 3]),
+    capture=st.sampled_from([0x00, 0x20, 0x3F]),
+)
+def test_tracing_is_observation_invisible(
+    mnemonic, data, n, interleave, capture
+):
+    arity = 1 if mnemonic == "sqrtpd" else 2
+    streams = [
+        data.draw(st.lists(bits64, min_size=n, max_size=n))
+        for _ in range(arity)
+    ]
+    off = _run(mnemonic, streams, interleave, capture, tracing=False)
+    on = _run(mnemonic, streams, interleave, capture, tracing=True)
+    assert on == off
+
+
+def _run_fpspy(n, seed, *, tracing):
+    """A full FPSpy individual-mode run, so the engine's handler hooks,
+    the trap-storm fast path, and the provenance observes all execute
+    while the invariant is checked."""
+    kb = KernelBuilder()
+    site = kb.site("mulpd")
+    a = [0x3FF199999999999A + (i % 13) for i in range(n)]
+    b = [0x3FE6666666666666 + (i % 7) for i in range(n)]
+
+    def main():
+        yield from kb.emit(site, a, b, interleave=2)
+
+    k = Kernel(KernelConfig(tracing=tracing))
+    k.exec_process(
+        main,
+        env=fpspy_env("individual", poisson="60:40", timer="virtual",
+                      seed=seed),
+        name="sampled",
+    )
+    k.run()
+    return {"cycles": k.cycles, "state": _guest_state(k)}
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=64),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_fpspy_traces_byte_identical_with_tracing(n, seed):
+    off = _run_fpspy(n, seed, tracing=False)
+    on = _run_fpspy(n, seed, tracing=True)
+    assert on == off

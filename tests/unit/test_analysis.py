@@ -64,7 +64,8 @@ class TestTimeline:
         assert rates.sum() * 0.1 == pytest.approx(101, rel=0.05)
 
     def test_rate_series_event_filter(self):
-        records = [rec(time=0.1), rec(time=0.2, codes=int(Flag.IE))]
+        records = [rec(time=0.1), rec(time=0.2, codes=int(Flag.IE)),
+                   rec(time=0.3, codes=int(Flag.IE))]
         _, rates = rate_series(records, event="Invalid", bins=4)
         assert rates.sum() > 0
         _, rates_ue = rate_series(records, event="Underflow", bins=4)
@@ -96,6 +97,48 @@ class TestTimeline:
     def test_burstiness_degenerate(self):
         assert burstiness([]) == 0.0
         assert burstiness([rec(), rec()]) == 0.0
+
+    def test_rate_series_empty_stream(self):
+        """No events: empty arrays, no divide-by-zero warnings."""
+        with np.errstate(all="raise"):
+            centers, rates = rate_series([], bins=10)
+        assert centers.size == 0 and rates.size == 0
+
+    def test_rate_series_single_event(self):
+        """One event has no interval to rate over: well-defined empty."""
+        with np.errstate(all="raise"):
+            centers, rates = rate_series([rec(time=0.5)], bins=10)
+        assert centers.size == 0 and rates.size == 0
+
+    def test_rate_series_identical_timestamps(self):
+        """All events at one instant: the epsilon-wide range must not
+        produce NaN or Inf rates."""
+        records = [rec(time=1.0) for _ in range(5)]
+        centers, rates = rate_series(records, bins=4)
+        assert centers.size == 4
+        assert np.isfinite(rates).all()
+
+    def test_rate_series_filter_to_one_event(self):
+        """An event filter that leaves a single record degrades to the
+        single-event empty, not a crash."""
+        records = [rec(time=0.1), rec(time=0.2, codes=int(Flag.IE))]
+        with np.errstate(all="raise"):
+            centers, rates = rate_series(records, event="Invalid", bins=4)
+        assert centers.size == 0 and rates.size == 0
+
+    def test_burstiness_zero_median_with_real_gaps(self):
+        """Duplicates force a zero median gap; a real gap beyond them is
+        burstiness beyond measure, not a ZeroDivisionError."""
+        records = [rec(time=t) for t in (0.0, 0.0, 0.0, 5.0)]
+        assert burstiness(records) == float("inf")
+
+    def test_burstiness_all_identical_timestamps(self):
+        records = [rec(time=1.0) for _ in range(6)]
+        assert burstiness(records) == 0.0
+
+    def test_cumulative_series_empty(self):
+        t, c = cumulative_series([], until=1.0)
+        assert t.size == 0 and c.size == 0
 
 
 class TestRankPop:
