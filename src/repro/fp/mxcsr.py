@@ -39,9 +39,13 @@ _CTX_KEY_MASK = RC_MASK | FTZ_BIT | DAZ_BIT | (int(Flag.UE) << MASK_SHIFT)
 _CTX_INTERN: dict[int, FPContext] = {}
 
 #: The register bits that must hold for the machine's block fast path:
-#: every exception masked, round-to-nearest, FTZ and DAZ off.  Status
-#: flags are ignored -- they are sticky outputs, not control state.
-_QUIESCENT_MASK = (int(ALL_FLAGS) << MASK_SHIFT) | RC_MASK | FTZ_BIT | DAZ_BIT
+#: every exception masked, FTZ and DAZ off.  Rounding control is *not*
+#: part of the gate: the vectorized engines are certified for all four
+#: modes (directed modes via error-free residual-sign corrections), so a
+#: guest ``fesetround`` no longer forces the precise sub-step path.
+#: Status flags are ignored -- they are sticky outputs, not control
+#: state.
+_QUIESCENT_MASK = (int(ALL_FLAGS) << MASK_SHIFT) | FTZ_BIT | DAZ_BIT
 _QUIESCENT_VALUE = int(ALL_FLAGS) << MASK_SHIFT
 
 _ALL = int(ALL_FLAGS)
@@ -161,12 +165,13 @@ class MXCSR:
 
     @property
     def quiescent(self) -> bool:
-        """True when the register is in the all-masked default control
-        state (every exception masked, round-to-nearest, no FTZ/DAZ).
+        """True when the register is in the all-masked control state
+        (every exception masked, no FTZ/DAZ; any rounding mode).
 
         This is the gate for the machine's block fast path: in this state
-        no FP instruction can fault and the dynamic context is the default
-        one, so contiguous runs can be executed as a batch.
+        no FP instruction can fault and the dynamic context is fully
+        captured by the (interned) :class:`FPContext`, so contiguous runs
+        can be executed as a batch under that context.
         """
         return (self._value & _QUIESCENT_MASK) == _QUIESCENT_VALUE
 

@@ -20,6 +20,15 @@ flag set is recovered by error-free transformations:
   distinct bit patterns of certified (normal, nonzero) values are never
   numerically equal.
 
+All four rounding modes are certified.  The host computes the
+round-to-nearest candidate; for directed modes the same error-free
+residual that detects inexactness also carries the *sign* of the true
+error, which pins the correctly rounded result to either the candidate
+or its 1-ulp neighbour (:func:`repro.fp.batchfloat._directed_adjust`).
+The certification window guarantees neighbours never cross the
+zero/subnormal/infinity boundaries, so the bit-space adjustment is
+always the right float.
+
 Every function returns ``(result_bits, pe, certified)`` arrays.  A lane
 is *certified* only when the fast path can guarantee bit-identical
 results and flags versus the canonical softfloat: normal mid-range
@@ -27,13 +36,16 @@ operands and a result comfortably inside the overflow/tininess
 boundaries.  Uncertified lanes carry garbage in ``result_bits`` and must
 be recomputed by the caller through the scalar FPU; certification is
 deliberately identical to :mod:`repro.fp.fastpath` so the two layers are
-property-tested against the same oracle.
+property-tested against the same oracle.  Lanes the window rejects are
+tallied per reason in :func:`reject_stats`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.fp.batchfloat import _directed_adjust
+from repro.fp.rounding import RoundingMode
 from repro.isa.forms import OpKind
 
 #: Magnitude bounds within which results are certainly safe (no overflow,
@@ -49,6 +61,29 @@ _U63 = np.uint64(63)
 _EXPF = np.uint64(0x7FF)
 _EXP_LO = np.uint64(523)
 _EXP_HI = np.uint64(1523)
+
+
+#: Lanes rejected from certification, by reason.  ``operand_window`` --
+#: an operand was special/subnormal/out-of-range; ``result_range`` --
+#: operands certified but the result left the safe magnitude window.
+_REJECTS = {"operand_window": 0, "result_range": 0}
+
+
+def reject_stats() -> dict[str, int]:
+    """Per-reason lane rejection counters (ablation report)."""
+    return dict(_REJECTS)
+
+
+def reset_reject_stats() -> None:
+    for k in _REJECTS:
+        _REJECTS[k] = 0
+
+
+def _count_rejects(opmask: np.ndarray, certified: np.ndarray) -> None:
+    n = opmask.shape[0]
+    nop = n - int(opmask.sum())
+    _REJECTS["operand_window"] += nop
+    _REJECTS["result_range"] += n - int(certified.sum()) - nop
 
 
 def fast_operand_mask(bits: np.ndarray) -> np.ndarray:
@@ -84,7 +119,7 @@ def _safe_result(v: np.ndarray) -> np.ndarray:
     return (mag > _MIN_SAFE) & (mag < _MAX_SAFE)
 
 
-def _addsub(a: np.ndarray, b: np.ndarray, negate_b: bool):
+def _addsub(a: np.ndarray, b: np.ndarray, negate_b: bool, rmode):
     x = a.view(np.float64)
     y = b.view(np.float64)
     if negate_b:
@@ -94,53 +129,73 @@ def _addsub(a: np.ndarray, b: np.ndarray, negate_b: bool):
     # scalar fast path's explicit +0 result; s == 0 with a nonzero residual
     # is impossible for mid-range normals (their exact sum is either zero
     # or far above the smallest representable magnitude).
-    certified = (
-        fast_operand_mask(a)
-        & fast_operand_mask(b)
-        & ((s == 0.0) | _safe_result(s))
-    )
-    pe = certified & (_two_sum_err(x, y, s) != 0.0)
-    return s.view(np.uint64), pe, certified
+    opmask = fast_operand_mask(a) & fast_operand_mask(b)
+    certified = opmask & ((s == 0.0) | _safe_result(s))
+    _count_rejects(opmask, certified)
+    err = _two_sum_err(x, y, s)
+    pe = certified & (err != 0.0)
+    bits = _directed_adjust(s.view(np.uint64), err > 0.0, err != 0.0, rmode)
+    if rmode is RoundingMode.DOWN:
+        # Exact cancellation of nonzero operands yields -0 under
+        # round-down (the softfloat's differing-sign zero rule).
+        bits = np.where(s == 0.0, np.uint64(1) << _U63, bits)
+    return bits, pe, certified
 
 
-def _mul(a: np.ndarray, b: np.ndarray):
+def _mul(a: np.ndarray, b: np.ndarray, rmode):
     x = a.view(np.float64)
     y = b.view(np.float64)
     p = x * y
-    certified = fast_operand_mask(a) & fast_operand_mask(b) & _safe_result(p)
-    pe = certified & (_two_prod_err(x, y, p) != 0.0)
-    return p.view(np.uint64), pe, certified
+    opmask = fast_operand_mask(a) & fast_operand_mask(b)
+    certified = opmask & _safe_result(p)
+    _count_rejects(opmask, certified)
+    err = _two_prod_err(x, y, p)
+    pe = certified & (err != 0.0)
+    bits = _directed_adjust(p.view(np.uint64), err > 0.0, err != 0.0, rmode)
+    return bits, pe, certified
 
 
-def _div(a: np.ndarray, b: np.ndarray):
+def _div(a: np.ndarray, b: np.ndarray, rmode):
     x = a.view(np.float64)
     y = b.view(np.float64)
     q = x / y
-    certified = fast_operand_mask(a) & fast_operand_mask(b) & _safe_result(q)
-    # q exact <=> q*y == x as reals <=> fl(q*y) == x and the two-product
-    # residual is zero (x is representable, so an exact real product must
-    # round to itself).
+    opmask = fast_operand_mask(a) & fast_operand_mask(b)
+    certified = opmask & _safe_result(q)
+    _count_rejects(opmask, certified)
+    # q exact <=> q*y == x as reals.  The residual r = x - q*y is exact
+    # (Sterbenz on x - fl(q*y), then the two-product low part), detects
+    # inexactness by r != 0, and its sign against y's orients the true
+    # quotient relative to the candidate for directed rounding.
     qy = q * y
-    exact = (qy == x) & (_two_prod_err(q, y, qy) == 0.0)
-    pe = certified & ~exact
-    return q.view(np.uint64), pe, certified
+    r = (x - qy) - _two_prod_err(q, y, qy)
+    inexact = r != 0.0
+    pos = (r > 0.0) != (y < 0.0)
+    pe = certified & inexact
+    bits = _directed_adjust(q.view(np.uint64), pos, inexact, rmode)
+    return bits, pe, certified
 
 
-def _sqrt(a: np.ndarray):
+def _sqrt(a: np.ndarray, rmode):
     x = a.view(np.float64)
     positive = (a >> _U63) == 0
-    certified = fast_operand_mask(a) & positive
+    opmask = fast_operand_mask(a)
+    certified = opmask & positive
+    _count_rejects(opmask, certified)
     r = np.sqrt(np.where(certified, x, 1.0))
     rr = r * r
-    exact = (rr == x) & (_two_prod_err(r, r, rr) == 0.0)
-    pe = certified & ~exact
-    return r.view(np.uint64), pe, certified
+    d = (x - rr) - _two_prod_err(r, r, rr)
+    inexact = d != 0.0
+    pe = certified & inexact
+    bits = _directed_adjust(r.view(np.uint64), d > 0.0, inexact, rmode)
+    return bits, pe, certified
 
 
 def _minmax(a: np.ndarray, b: np.ndarray, want_min: bool):
     x = a.view(np.float64)
     y = b.view(np.float64)
-    certified = fast_operand_mask(a) & fast_operand_mask(b)
+    opmask = fast_operand_mask(a) & fast_operand_mask(b)
+    certified = opmask
+    _count_rejects(opmask, certified)
     take_a = (x < y) if want_min else (x > y)
     # Equal certified values have identical bits, so the x64 rule of
     # returning the *second* operand on equality is satisfied by taking b.
@@ -148,25 +203,30 @@ def _minmax(a: np.ndarray, b: np.ndarray, want_min: bool):
     return res, np.zeros_like(certified), certified
 
 
-def vector_execute(kind: OpKind, operands: list[np.ndarray]):
+def vector_execute(
+    kind: OpKind,
+    operands: list[np.ndarray],
+    rmode: RoundingMode = RoundingMode.NEAREST,
+):
     """Execute one vectorizable op kind across flattened lanes.
 
-    ``operands`` holds one uint64 bit-pattern array per operand position.
+    ``operands`` holds one uint64 bit-pattern array per operand position;
+    ``rmode`` is the task's rounding mode (min/max are mode-invariant).
     Returns ``(result_bits, pe, certified)``; certified lanes raise PE and
     nothing else (DE/IE/ZE/OE/UE all require operand or result classes the
     certification window excludes).
     """
     with np.errstate(all="ignore"):
         if kind is OpKind.ADD:
-            return _addsub(operands[0], operands[1], negate_b=False)
+            return _addsub(operands[0], operands[1], False, rmode)
         if kind is OpKind.SUB:
-            return _addsub(operands[0], operands[1], negate_b=True)
+            return _addsub(operands[0], operands[1], True, rmode)
         if kind is OpKind.MUL:
-            return _mul(operands[0], operands[1])
+            return _mul(operands[0], operands[1], rmode)
         if kind is OpKind.DIV:
-            return _div(operands[0], operands[1])
+            return _div(operands[0], operands[1], rmode)
         if kind is OpKind.SQRT:
-            return _sqrt(operands[0])
+            return _sqrt(operands[0], rmode)
         if kind is OpKind.MIN:
             return _minmax(operands[0], operands[1], want_min=True)
         if kind is OpKind.MAX:

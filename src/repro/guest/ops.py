@@ -64,7 +64,8 @@ class FPBlock(GuestOp):
     block form merely licenses the CPU to batch the work when the task is
     quiescent (see :mod:`repro.machine.blockexec`).
 
-    Operand storage is dual: vectorizable binary64 forms carry one padded
+    Operand storage is dual: forms covered by a vectorized engine (the
+    binary64 EFT kernels or the batch softfloat) carry one padded
     ``uint64`` array per operand position (``arrays``), everything else a
     per-group tuple structure (``groups``).  The cursor fields record
     partial progress so a fault, trap, or timer can interrupt the block
@@ -76,7 +77,7 @@ class FPBlock(GuestOp):
     n_elements: int  #: real (unpadded) elements across all groups
     interleave: int = 0  #: integer instructions after each FP instruction
     #: One uint64 bit-pattern array per operand position, padded to
-    #: ``n_groups * lanes`` elements (vectorizable forms only).
+    #: ``n_groups * lanes`` elements (vector-engine-covered forms only).
     arrays: tuple[np.ndarray, ...] | None = None
     #: Per-group lane-input tuples, shaped like ``FPInstruction.inputs``
     #: (non-vectorizable forms only).
@@ -97,11 +98,13 @@ class FPBlock(GuestOp):
         pad: int,
     ) -> "FPBlock":
         """Pack parallel operand streams into a block (padding the tail)."""
+        from repro.fp.batchfloat import batch_covered
+
         form = site.form
         lanes = form.lanes
         n = len(operand_streams[0])
         n_groups = -(-n // lanes)
-        if form.block_vectorizable:
+        if form.block_vectorizable or batch_covered(form):
             total = n_groups * lanes
             arrays = []
             for stream in operand_streams:

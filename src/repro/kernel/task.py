@@ -91,8 +91,8 @@ class Task:
     @property
     def fp_quiescent(self) -> bool:
         """No FP instruction can fault or single-step trap right now:
-        every exception masked, default control state (round-to-nearest,
-        no FTZ/DAZ), and ``RFLAGS.TF`` clear.  This is the gate for the
+        every exception masked, no FTZ/DAZ (any rounding mode), and
+        ``RFLAGS.TF`` clear.  This is the gate for the
         block execution fast path -- FPSpy's individual mode unmasks its
         capture set per thread, which makes the task non-quiescent and
         forces precise per-instruction execution by construction."""

@@ -5,12 +5,14 @@ stream; this module executes it so the two are architecturally
 indistinguishable (DESIGN.md decision #6).  Two regimes:
 
 **Quiescent fast path.**  When the task is quiescent -- every exception
-masked, ``RFLAGS.TF`` clear, round-to-nearest, no FTZ/DAZ -- no FP
+masked, ``RFLAGS.TF`` clear, no FTZ/DAZ, any rounding mode -- no FP
 instruction in the block can fault or trap, so a chunk of groups can be
 committed as a batch: results via the vectorized error-free
 transformations of :mod:`repro.fp.vectorfast` (scalar softfloat for the
 lanes they cannot certify, which is sound because sticky-flag OR is
-commutative and nothing can observe intermediate state mid-chunk), one
+commutative and nothing can observe intermediate state mid-chunk) or,
+for forms the EFTs do not cover, the exact batch softfloat kernels of
+:mod:`repro.fp.batchfloat`; one
 sticky-flag OR into ``%mxcsr``, one cycle charge, one vtime advance.  The
 chunk is capped by the scheduler quantum and by the vtimer/real-timer
 budgets exactly as ``CPU._exec_int`` caps integer runs, so ``SIGVTALRM``
@@ -35,7 +37,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.fp import vectorfast
+from repro.fp import batchfloat, vectorfast
+from repro.machine import storm
 from repro.fp.flags import Flag, highest_priority
 from repro.guest.ops import FPBlock
 from repro.kernel.signals import FLAG_SICODE_INT, SigInfo, Signal
@@ -56,6 +59,18 @@ def step_block(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         or not kernel.config.blockexec
         or not task.fp_quiescent
     ):
+        # Non-quiescent usually means FPSpy's individual mode is live:
+        # first offer the run of faulting groups to the storm batch
+        # driver (DESIGN.md #11), which commits whole trap lifecycles as
+        # one array op when -- and only when -- that is provably
+        # byte-identical to precise stepping.
+        if (
+            cpu.stormbatch
+            and not block.fp_done
+            and kernel.config.blockexec
+            and storm.try_storm(cpu, task, block)
+        ):
+            return True
         if cpu._t_blk_scalar is not None:
             cpu._t_blk_scalar.value += 1
             cpu._note_block_mode(task, False)
@@ -107,10 +122,12 @@ def _commit_chunk(cpu: "CPU", task: Task, block: FPBlock, k: int) -> None:
     start = block.index
     flags = Flag.NONE
 
-    if block.arrays is not None:
+    if block.arrays is not None and form.block_vectorizable:
         lo, hi = start * lanes, (start + k) * lanes
         ops = [a[lo:hi] for a in block.arrays]
-        bits, pe, certified = vectorfast.vector_execute(form.kind, ops)
+        bits, pe, certified = vectorfast.vector_execute(
+            form.kind, ops, task.mxcsr.context().rmode
+        )
         if pe.any():
             flags |= Flag.PE
         out = bits.tolist()
@@ -135,6 +152,34 @@ def _commit_chunk(cpu: "CPU", task: Task, block: FPBlock, k: int) -> None:
                         task, block.site, block.group(g)[:take],
                         outcome.results[:take], outcome.flags,
                     )
+    elif block.arrays is not None:
+        # Batch-softfloat path: forms the EFT kernels cannot certify
+        # (binary32, FMA) but whose full masked semantics -- results,
+        # all six condition codes, NaN payloads, subnormals -- the
+        # integer-array kernels compute exactly for every lane.
+        lo, hi = start * lanes, (start + k) * lanes
+        ops = tuple(a[lo:hi] for a in block.arrays)
+        res = batchfloat.execute_batch(form, ops, task.mxcsr.context())
+        flags |= Flag(int(np.bitwise_or.reduce(res.flags)))
+        out = res.bits.tolist()
+        if cpu._prov is not None:
+            # Provenance only reacts to NaN/Inf/denorm bit patterns, so
+            # observing just the groups carrying one (as input or
+            # result) sees every origin, propagation, and sink the
+            # per-group path would.
+            special = batchfloat.special_lane_mask(form.fmt, res.bits)
+            for o in ops:
+                special |= batchfloat.special_lane_mask(form.fmt, o)
+            gflags = res.flags.reshape(k, lanes)
+            for gi in np.nonzero(special.reshape(k, lanes).any(axis=1))[0]:
+                g = start + int(gi)
+                take = block.take(g)
+                glo = int(gi) * lanes
+                cpu._prov.observe(
+                    task, block.site, block.group(g)[:take],
+                    tuple(out[glo:glo + take]),
+                    Flag(int(np.bitwise_or.reduce(gflags[gi]))),
+                )
     else:
         out = []
         for g in range(start, start + k):

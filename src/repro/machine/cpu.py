@@ -92,6 +92,12 @@ class CPU:
         #: delivery inline instead of posting it for the next step.
         self.trapfast = kernel.config.trapfast
         self._fuse_armed = False
+        #: Storm batch driver (DESIGN.md #11): host-side batch/bail-out
+        #: accounting, exposed as a pull gauge when telemetry is on.
+        self.stormbatch = kernel.config.stormbatch
+        self.storm_stats: dict = {
+            "batches": 0, "groups": 0, "records": 0, "bailouts": {},
+        }
         #: Per-RIP cache: address -> (site, memoized executor, end rip).
         #: ``TEXT_BASE`` is shared across processes, so entries validate
         #: the interned :class:`CodeSite` by identity before use.
@@ -110,6 +116,7 @@ class CPU:
             self._t_bail_reasons = sc.labeled("trapfusion.bailouts")
             self._t_signals = tel.scope("kernel").labeled("signals.delivered")
             sc.gauge("site_cache.size", lambda: len(self._site_cache))
+            sc.gauge("storm", self._storm_gauge)
             blk = tel.scope("blockexec")
             self._t_blk_chunks = blk.counter("fast_chunks")
             self._t_blk_groups = blk.counter("fast_groups")
@@ -143,6 +150,18 @@ class CPU:
         self._executor_factory = (
             traced_form_executor if self._tr is not None else form_executor
         )
+
+    def _storm_gauge(self) -> dict:
+        """Flattened storm accounting for ``/proc/fpspy/counters``."""
+        st = self.storm_stats
+        out = {
+            "batches": st["batches"],
+            "groups": st["groups"],
+            "records": st["records"],
+        }
+        for reason, n in st["bailouts"].items():
+            out[f"bail.{reason}"] = n
+        return out
 
     def _note_block_mode(self, task: Task, fast: bool) -> None:
         """Count quiescence regime transitions for ``task`` (telemetry)."""

@@ -275,6 +275,14 @@ class TraceRecorder:
         fast path stamps the batch, never per-instruction detail."""
         self._stamp(task, "block_chunk", 0, rip=rip, groups=groups)
 
+    def storm(self, task: "Task", rip: int, groups: int, recorded: int) -> None:
+        """Summary span for one storm batch (DESIGN.md #11).  Stamped in
+        *addition* to the per-event lifecycle trees the storm driver
+        replicates, so batching never under-counts: readers see every
+        fp_fault/handler/tf_trap tree plus one storm root naming the
+        batch that produced them."""
+        self._stamp(task, "storm", 0, rip=rip, groups=groups, recorded=recorded)
+
     # ------------------------------------------------------------ reads
 
     def spans(self) -> list[Span]:
@@ -473,6 +481,9 @@ class NullTracer:
         pass
 
     def chunk(self, *a, **k) -> None:
+        pass
+
+    def storm(self, *a, **k) -> None:
         pass
 
     def spans(self) -> list:

@@ -80,6 +80,21 @@ class TraceWriter:
         if self._buffered_records >= self.FLUSH_EVERY:
             self.flush()
 
+    def append_packed(self, data: bytes, count: int) -> None:
+        """Append ``count`` already-packed individual records at once.
+
+        The storm batch driver serializes a whole batch of records in one
+        NumPy structured-array pass; the bytes are exactly ``count``
+        back-to-back :func:`pack_record` outputs, so the file contents are
+        byte-identical to ``count`` ``append_individual`` calls -- only
+        the host-side flush boundary (never guest-visible) can differ.
+        """
+        self._buffer += data
+        self.records_written += count
+        self._buffered_records += count
+        if self._buffered_records >= self.FLUSH_EVERY:
+            self.flush()
+
     def append_aggregate(self, rec: AggregateRecord) -> None:
         # Aggregate mode writes one record per thread lifetime: flush-through.
         self._buffer += rec.to_line().encode()

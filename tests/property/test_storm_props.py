@@ -1,0 +1,201 @@
+"""The storm batch driver must be byte-identical to per-event stepping.
+
+``KernelConfig.stormbatch`` toggles DESIGN.md decision #11: batches of
+consecutive same-RIP faulting groups have their whole trap lifecycles
+replicated from one array-kernel pass instead of being stepped one
+event at a time.  Nothing architecturally observable may change: trace
+files (every record field, including the float timestamp), cycle
+counts, user/system splits, virtual time, ``%mxcsr``, results.  The
+host-side observers must not under-count either: per-event telemetry
+events and flight-recorder span trees are replicated stamp for stamp.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.formats import float_to_bits32
+from repro.fpspy import fpspy_env
+from repro.guest.program import KernelBuilder
+from repro.kernel.kernel import Kernel, KernelConfig
+
+_SPECIALS32 = [
+    0x00000000, 0x80000000,  # +-0
+    0x7F800000, 0xFF800000,  # +-inf
+    0x7FC00000, 0x7FA00000,  # qNaN, sNaN
+    0x00000001, 0x00800000,  # subnormal, min normal
+    0x7F000000, 0x7F7FFFFF,  # overflow boundaries
+    0x3F800000, 0xBF000000,  # 1.0, -0.5
+]
+
+bits32 = st.one_of(
+    st.sampled_from(_SPECIALS32),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+
+#: Batch-covered binary32 forms: the packed FMA storm (8 lanes, the
+#: paper's GROMACS case) plus scalar shapes (1 lane, padded tails).
+_FORMS = [("vfmaddps", 3), ("addss", 2), ("divss", 2), ("sqrtss", 1)]
+
+
+def _run(mnemonic, streams, interleave, stormbatch, *, config=None, **env):
+    kb = KernelBuilder()
+    site = kb.site(mnemonic, key="storm")
+    k = Kernel(KernelConfig(stormbatch=stormbatch, **(config or {})))
+    out = {}
+
+    def main():
+        out["results"] = yield from kb.emit(
+            site, *streams, interleave=interleave
+        )
+
+    proc = k.exec_process(
+        main, env=fpspy_env("individual", **env), name="stormy"
+    )
+    k.run()
+    task = proc.main_task
+    return k, {
+        "results": list(out["results"]),
+        # Trace/meta files are the guest-visible record contract.  The
+        # /proc/fpspy introspection mounts are host observability and
+        # differ by design (extra storm spans, scheduler counters);
+        # their no-under-count invariants are asserted explicitly below.
+        "state": {
+            p: k.vfs.read(p)
+            for p in k.vfs.listdir("")
+            if not p.startswith("/proc/")
+        },
+        "vtime": task.vtime,
+        "mxcsr": task.mxcsr.value,
+        "utime": task.utime_cycles,
+        "stime": task.stime_cycles,
+        "cycles": k.cycles,
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    form=st.sampled_from(_FORMS),
+    data=st.data(),
+    n=st.integers(min_value=1, max_value=96),
+    interleave=st.sampled_from([0, 2]),
+    sample=st.sampled_from([1, 3]),
+)
+def test_storm_byte_identical_to_per_event_path(
+    form, data, n, interleave, sample
+):
+    mnemonic, arity = form
+    streams = [
+        data.draw(st.lists(bits32, min_size=n, max_size=n))
+        for _ in range(arity)
+    ]
+    _, on = _run(mnemonic, streams, interleave, True, sample=sample)
+    _, off = _run(mnemonic, streams, interleave, False, sample=sample)
+    assert on == off
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data=st.data(),
+    n=st.integers(min_value=8, max_value=64),
+    maxcount=st.integers(min_value=1, max_value=12),
+)
+def test_storm_respects_maxcount_disarm(data, n, maxcount):
+    """The maxcount disarm transition must land on the exact event the
+    per-event path disarms at (the batch headroom cap is conservative,
+    so the transition itself always runs per-event)."""
+    streams = [
+        data.draw(st.lists(bits32, min_size=n, max_size=n)) for _ in range(3)
+    ]
+    _, on = _run("vfmaddps", streams, 2, True, maxcount=maxcount)
+    _, off = _run("vfmaddps", streams, 2, False, maxcount=maxcount)
+    assert on == off
+
+
+def _storm_streams(n):
+    a = [float_to_bits32(1.1 + (i % 24) * 0.3) for i in range(n)]
+    b = [float_to_bits32(0.7 + (i % 12) * 0.21) for i in range(n)]
+    c = [float_to_bits32(-0.033 * (1 + i % 6)) for i in range(n)]
+    return [a, b, c]
+
+
+def test_storm_batches_actually_engage():
+    """Guard against silently testing a driver that never admits."""
+    k, _ = _run("vfmaddps", _storm_streams(256), 2, True)
+    st_ = k.cpu.storm_stats
+    assert st_["batches"] >= 1
+    assert st_["groups"] >= 16
+
+
+def test_storm_telemetry_does_not_undercount():
+    """Per-event telemetry must be replicated: fpspy observed/recorded,
+    per-flag event counters, delivered-signal counts, fused-trap count,
+    and each ``/proc/fpspy/events`` ring entry (cycle stamp included)."""
+    cfg = {"telemetry": True}
+    streams = _storm_streams(192)
+    kf, on = _run("vfmaddps", streams, 2, True, config=cfg)
+    ks, off = _run("vfmaddps", streams, 2, False, config=cfg)
+    assert kf.cpu.storm_stats["batches"] >= 1
+    assert on["cycles"] == off["cycles"]
+
+    def invariants(k):
+        fpspy = k.telemetry.scope("fpspy")
+        cpu = k.telemetry.scope("cpu")
+        kern = k.telemetry.scope("kernel")
+        return {
+            "observed": fpspy.counter("observed").value,
+            "recorded": fpspy.counter("recorded").value,
+            "events": fpspy.labeled("events").as_dict(),
+            "event_ring": fpspy.events(),
+            "signals": kern.labeled("signals.delivered").as_dict(),
+            "fused": cpu.counter("trapfusion.fused").value,
+            "defer_fences": kern.counter("timers.defer_fences").value,
+        }
+
+    assert invariants(kf) == invariants(ks)
+
+
+def test_storm_span_trees_replicated():
+    """With the flight recorder on, every per-event lifecycle tree the
+    precise path stamps must appear -- same names, cycle stamps, and
+    args -- plus exactly one extra ``storm`` summary span per batch."""
+    cfg = {"tracing": True, "trace_capacity": 1 << 20}
+    streams = _storm_streams(96)
+    kf, on = _run("vfmaddps", streams, 2, True, config=cfg)
+    ks, off = _run("vfmaddps", streams, 2, False, config=cfg)
+    assert on == off
+    assert kf.cpu.storm_stats["batches"] >= 1
+
+    def shape(k, drop_storm):
+        spans = []
+        for s in k.tracer.spans():
+            if drop_storm and s.name == "storm":
+                continue
+            spans.append((s.name, s.cycles, s.pid, s.tid, tuple(
+                sorted(s.args.items())
+            )))
+        return spans
+
+    storm_spans = [s for s in kf.tracer.spans() if s.name == "storm"]
+    assert len(storm_spans) == kf.cpu.storm_stats["batches"]
+    assert sum(s.args["groups"] for s in storm_spans) == \
+        kf.cpu.storm_stats["groups"]
+    assert shape(kf, True) == shape(ks, False)
+    assert kf.tracer.open_trees() == 0
+    assert kf.tracer.trees_completed == ks.tracer.trees_completed
+
+
+def test_storm_off_matches_under_poisson_sampler():
+    """Armed sampler timers reject admission ("timer" bail-out), so a
+    Poisson-sampled run must be byte-identical by *falling back*."""
+    streams = _storm_streams(1024)
+    kf, on = _run(
+        "vfmaddps", streams, 2, True,
+        poisson="150:100", timer="virtual", seed=7,
+    )
+    _, off = _run(
+        "vfmaddps", streams, 2, False,
+        poisson="150:100", timer="virtual", seed=7,
+    )
+    assert on == off
+    assert kf.cpu.storm_stats["batches"] == 0
+    assert kf.cpu.storm_stats["bailouts"].get("timer", 0) >= 1

@@ -74,7 +74,11 @@ class TestSpanTrees:
     def test_roots_are_fp_faults_and_trees_complete(self):
         k = _run_individual(n=5)
         spans = k.tracer.spans()
-        roots = [s for s in spans if s.parent_id == 0]
+        # Roots are fp_fault trees plus the storm driver's per-batch
+        # summary spans (which deliberately sit outside any tree).
+        roots = [
+            s for s in spans if s.parent_id == 0 and s.name != "storm"
+        ]
         assert roots and all(s.name == "fp_fault" for s in roots)
         assert k.tracer.trees_completed == len(roots)
         assert k.tracer.open_trees() == 0
@@ -84,9 +88,13 @@ class TestSpanTrees:
         slow = _run_individual(trapfast=False)
 
         def shape(k):
+            # The storm summary spans exist only on the fast path (the
+            # precise path has no batches to summarize); the per-event
+            # trees themselves must agree.
             return sorted(
                 (s.name, len(_ancestors(k.tracer.spans(), s.span_id)))
                 for s in k.tracer.spans()
+                if s.name != "storm"
             )
 
         assert shape(fast) == shape(slow)

@@ -267,9 +267,12 @@ class TestEngineExits:
 class TestFastPathMachinery:
     def test_fusion_engages_on_the_storm(self):
         """White box: the inline delivery actually runs (the equivalence
-        tests would pass vacuously if every trap took the posted path)."""
+        tests would pass vacuously if every trap took the posted path).
+        The storm driver replicates fused traps without calling
+        ``_deliver_trap_inline``, so it is pinned off here to exercise
+        the per-event machinery itself."""
         kb = KernelBuilder()
-        k = Kernel(KernelConfig(trapfast=True))
+        k = Kernel(KernelConfig(trapfast=True, stormbatch=False))
         fused = []
         orig = k.cpu._deliver_trap_inline
 
