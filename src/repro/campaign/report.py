@@ -146,6 +146,18 @@ def _deterministic_run(o: RunOutcome) -> dict:
         d["spans_recorded"] = o.spans_recorded
         d["span_trees"] = o.span_trees
         d["spans_dropped"] = o.spans_dropped
+        if o.trace_stats:
+            # Retention decisions are seeded and replay-deterministic,
+            # so the tail breakdown belongs here too.
+            d["trace_retention"] = {
+                k: o.trace_stats[k]
+                for k in (
+                    "trees_retained_interesting", "trees_retained_boring",
+                    "trees_discarded", "interesting_trees_dropped",
+                    "sampler_period", "sampler_tightened",
+                    "sampler_relaxed")
+                if k in o.trace_stats
+            }
         d["provenance"] = [list(r) for r in o.provenance]
     return d
 
@@ -200,6 +212,20 @@ def render_report(campaign: CampaignSpec, outcomes: list[RunOutcome]) -> str:
         lines.append(
             f"flight recorder: {spans} spans, {trees} trap trees, "
             f"{dropped} dropped across {len(traced)} traced runs")
+        ret_i = sum(
+            o.trace_stats.get("trees_retained_interesting", 0)
+            for o in traced)
+        ret_b = sum(
+            o.trace_stats.get("trees_retained_boring", 0) for o in traced)
+        disc = sum(
+            o.trace_stats.get("trees_discarded", 0) for o in traced)
+        idrop = sum(
+            o.trace_stats.get("interesting_trees_dropped", 0)
+            for o in traced)
+        if ret_i or ret_b or disc:
+            lines.append(
+                f"tail retention: {ret_i} interesting + {ret_b} sampled "
+                f"kept, {disc} discarded, {idrop} interesting dropped")
         lines.append("provenance rollup (origin RIP, kind; merged):")
         lines.append(
             f"  {'origin':>14s} {'kind':<7s} {'form':<10s} "

@@ -58,6 +58,8 @@ class RunOutcome:
     spans_recorded: int = 0
     span_trees: int = 0
     spans_dropped: int = 0
+    #: Full retention/ring/sampler stats (``TraceRecorder.stats``).
+    trace_stats: dict = field(default_factory=dict)
     #: Provenance rollup rows (``ProvenanceTracker.rollup_rows``).
     provenance: tuple[tuple, ...] = ()
     #: Packed SpanRecord bytes for the per-run artifact.
@@ -135,6 +137,7 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
         spans_recorded=kernel.tracer.recorded if spec.tracing else 0,
         span_trees=kernel.tracer.trees_completed if spec.tracing else 0,
         spans_dropped=kernel.tracer.dropped if spec.tracing else 0,
+        trace_stats=kernel.tracer.stats() if spec.tracing else {},
         provenance=(
             kernel.provenance.rollup_rows() if spec.tracing else ()),
         trace_bin=(

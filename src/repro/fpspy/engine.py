@@ -319,6 +319,9 @@ class FPSpyEngine:
             mctx.mxcsr = mx.value
             mctx.trap_flag = False
             if tr is not None:
+                # Disarming is a disposition change: the tail sampler
+                # always keeps the tree where monitoring ended.
+                tr.note_disposition(task)
                 tr.handler_exit(task, "sigfpe", "disarm")
             return
 
@@ -409,6 +412,8 @@ class FPSpyEngine:
         self.step_aside_reason = reason
         if self._t_step_asides is not None:
             self._t_step_asides.value += 1
+        if self._tr is not None:
+            self._tr.note_disposition(self.kernel.current_task)
         if self.config.mode == Mode.INDIVIDUAL:
             self._uninstall_handlers()
         drop = {Signal.SIGFPE, Signal.SIGTRAP, self.alarm_signal}

@@ -84,6 +84,10 @@ class FPBlock(GuestOp):
     groups: tuple[tuple[tuple[int, ...], ...], ...] | None = None
 
     # -- execution cursor (owned by the machine) ----------------------------
+    #: Cached provenance masks (class attr, not a field: lazily set by
+    #: the scalar sub-step's inert-skip guard).
+    _prov_masks = None
+
     index: int = 0  #: groups fully retired so far
     fp_done: bool = False  #: current group's FP instruction has retired
     int_remaining: int = 0  #: current group's leftover interleave units

@@ -64,6 +64,19 @@ class Process:
         """Install a handler, returning the previous disposition."""
         prev = self.sighandlers.get(signo, SIG_DFL)
         self.sighandlers[signo] = handler
+        if (
+            handler is not prev
+            and prev is not SIG_DFL
+            and signo in (Signal.SIGFPE, Signal.SIGTRAP)
+        ):
+            # Replacing a *live* FPE/TRAP disposition mid-run (an app
+            # hooking over FPSpy, or FPSpy untangling itself) is one of
+            # the flight recorder's interesting sink classes; initial
+            # installs over SIG_DFL are routine and stay unmarked.
+            tr = self.kernel.tracer
+            cur = self.kernel.current_task
+            if tr and cur is not None and cur.process is self:
+                tr.note_disposition(cur)
         return prev
 
     def disposition(self, signo: Signal) -> object:

@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.fp import batchfloat, vectorfast
+from repro.fp import batchfloat, provenance as _prov_mod, vectorfast
 from repro.machine import storm
 from repro.fp.flags import Flag, highest_priority
 from repro.guest.ops import FPBlock
@@ -228,7 +228,8 @@ def _scalar_substep(cpu: "CPU", task: Task, block: FPBlock) -> bool:
 
 def _substep_fp(cpu: "CPU", task: Task, block: FPBlock) -> bool:
     kernel, costs = cpu.kernel, cpu.costs
-    outcome = cpu.execute_site(task, block.site, block.group(block.index))
+    inputs = block.group(block.index)
+    outcome = cpu.execute_site(task, block.site, inputs)
     task.mxcsr.set_status(outcome.flags)
 
     pending = task.mxcsr.unmasked_pending(outcome.flags)
@@ -255,14 +256,51 @@ def _substep_fp(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         return True
 
     if cpu._prov is not None:
-        take = block.take(block.index)
-        cpu._prov.observe(
-            task, block.site, block.group(block.index)[:take],
-            outcome.results[:take], outcome.flags,
-        )
+        # Inert-skip, the storm pre-scan's insight applied one group at
+        # a time: tags only hold exceptional bit patterns, so an
+        # all-ordinary group cannot create, propagate, or sink a chain.
+        # The inline test (two compares on the masked value, see
+        # ProvenanceTracker.scan_window) runs on every non-faulting
+        # scalar retirement; padding lanes conservatively fall through
+        # to the exact observe, which take-truncates them away.
+        masks = block._prov_masks
+        if masks is None:
+            masks = block._prov_masks = _prov_mod._form_masks(
+                block.site.form)
+        ie, im, re_, rm = masks
+        exc = False
+        if ie is not None:
+            both = ie | im
+            for lane_ops in inputs:
+                for b in lane_ops:
+                    x = b & both
+                    if x >= ie or 0 < x <= im:
+                        exc = True
+                        break
+                if exc:
+                    break
+        if not exc and re_ is not None:
+            both = re_ | rm
+            for b in outcome.results:
+                x = b & both
+                if x >= re_ or 0 < x <= rm:
+                    exc = True
+                    break
+        if exc:
+            take = block.take(block.index)
+            cpu._prov.observe(
+                task, block.site,
+                inputs if take == len(inputs) else inputs[:take],
+                outcome.results[:take], outcome.flags,
+            )
+        else:
+            cpu._prov.observed += 1
     retire_fp(cpu, task, block, outcome.results, charge=True)
-    if cpu._tr is not None:
-        cpu._tr.fp_retired(task, block.site.address, None)
+    tr = cpu._tr
+    if tr is not None and task in tr._live:
+        # fp_retired is a no-op without an open trap tree; checking here
+        # keeps the every-retirement hook off the quiescent-run path.
+        tr.fp_retired(task, block.site.address, None)
     cpu._maybe_trap(task)
     return True
 

@@ -505,6 +505,13 @@ class CPU:
             if self._t_bailed is not None:
                 self._t_bailed.value += 1
                 self._t_bail_reasons.inc(reason)
+            if self._tr is not None and reason != "quantum":
+                # Architecturally meaningful bail-outs mark the open trap
+                # tree as interesting for the tail sampler.  "quantum" is
+                # excluded deliberately: it depends only on slice phase,
+                # and marking it would make retention differ between
+                # otherwise byte-identical scheduling configurations.
+                self._tr.note_bailout(task)
         task.stime_cycles += self.costs.fault_entry
         kernel.cycles += self.costs.fault_entry
         task.post_signal(

@@ -38,13 +38,7 @@ from repro.fp.batchfloat import batch_covered
 from repro.fp.flags import MASK_SHIFT, Flag, flags_to_events
 from repro.fp.mxcsr import MXCSR
 from repro.guest.ops import FPBlock
-from repro.kernel.signals import (
-    EFLAGS_TF,
-    FLAG_SICODE_INT,
-    TRAP_TRACE_CODE,
-    MContext,
-    Signal,
-)
+from repro.kernel.signals import FLAG_SICODE_INT, Signal
 from repro.kernel.task import Task
 from repro.trace.records import RECORD_DTYPE
 
@@ -150,7 +144,7 @@ def try_storm(cpu: "CPU", task: Task, block: FPBlock) -> bool:
         or cache[1] != base
         or cache[2] > block.index
     ):
-        cache = _build_cache(block, form, ctx, base)
+        cache = _build_cache(block, form, ctx, base, cpu._prov)
         block._storm_cache = cache
     rel = block.index - cache[2]
     pend_w = cache[5]
@@ -175,7 +169,7 @@ def try_storm(cpu: "CPU", task: Task, block: FPBlock) -> bool:
     return True
 
 
-def _build_cache(block: FPBlock, form, ctx, base: int):
+def _build_cache(block: FPBlock, form, ctx, base: int, prov=None):
     """Batch-execute the block's remaining window once, cache per-group
     codes / pending-exception / si_code arrays keyed on (ctx, base)."""
     lanes = form.lanes
@@ -192,7 +186,16 @@ def _build_cache(block: FPBlock, form, ctx, base: int):
         tiny_g = res.tiny.reshape(ng, lanes).any(axis=1)
         pend = pend | np.where(tiny_g, _UE, 0)
     sic = _SICODE_LUT[pend & -pend]
-    return (ctx, base, block.index, res.bits, codes_g, pend, sic)
+    # Trailing cell: the provenance pre-scan of this whole window (one
+    # scan serves every storm committed out of this cache).  Filled
+    # eagerly while the operand and result arrays are cache-hot;
+    # _replicate_events fills it lazily as a fallback.
+    cell = [None]
+    if prov is not None:
+        cell[0] = prov.scan_window(
+            block.site, ops, res.bits, ng, lanes,
+            block.take(block.n_groups - 1))
+    return (ctx, base, block.index, res.bits, codes_g, pend, sic, cell)
 
 
 def _commit(
@@ -354,9 +357,16 @@ def _replicate_events(
     ``/proc/fpspy/events`` entries, provenance observations.
 
     Only runs when at least one observer is live, so the plain storm hot
-    path never enters this loop.  Span stamps use the exact cycle the
-    per-event path stamps them at; ``kernel.cycles`` is slid along the
-    schedule because the recorder and provenance read it directly.
+    path never enters this loop.  The loop itself performs only the
+    per-event work that *must* be exact per event -- telemetry span
+    events at the SIGFPE delivery cycle and provenance observations at
+    the masked-re-execution retirement cycle (``kernel.cycles`` is slid
+    to each stamp because both read it directly).  The 14-span trap
+    trees are emitted by one bulk :meth:`TraceRecorder.replicate_trees`
+    call with identical ids, parents, cycles, and args to the per-event
+    path -- and, with tail sampling on, boring trees are discarded
+    *before* any span tuple is built, which is what keeps an always-on
+    recorder affordable in a storm.
     """
     kernel = cpu.kernel
     costs = cpu.costs
@@ -380,83 +390,80 @@ def _replicate_events(
     fp_c = costs.fp_instr
     int_tail = costs.int_instr * block.interleave
 
-    r = int(rec.sum())
-    prev_tf = task.trap_flag  # False by admission
+    # Only ``rec`` is indexed for every event; codes / si_codes /
+    # pending masks are touched solely for retained trees and the rare
+    # suspicious observes, so they stay numpy (scalar indexing on the
+    # cold path beats converting whole windows on the hot one).
+    rec_l = rec.tolist()
+    r = sum(rec_l)
     if tr is not None:
         # One summary span *plus* full per-event trees: batching must
         # never under-count (satellite 6).
         tr.storm(task, rip, k, r)
-        # fp_retired closes the span tree early unless TF is set; the
-        # per-event path always has TF live there.
-        task.trap_flag = True
+
+    # Event start cycles mirror the fused path's charge schedule:
+    # event j starts at c0 + j * group_cost, plus one trace-append per
+    # earlier recorded event.  Kept as a formula -- not a list -- so the
+    # common batch (every tree discarded, no observer events) never
+    # materializes per-event cycles at all.
+    group_cost = 2 * (fault_c + deliv_c + ret_c) + 2 * huser_c + fp_c \
+        + int_tail
+    obs_off = fault_c + deliv_c + huser_c + ret_c  # SIGFPE delivery+handler
+    marks = [0] * k
     try:
-        cyc = c0
-        mon_seq = 0
-        for j in range(k):
-            code_j = int(codes[j])
-            sic_j = int(sic[j])
-            cyc += fault_c
-            if tr is not None:
-                kernel.cycles = cyc
-                tr.fp_fault(task, rip, sic_j, int(pend[j]))
-            cyc += deliv_c
-            kernel.cycles = cyc
-            if tr is not None:
-                tr.signal_delivered(
-                    task, Signal.SIGFPE, sic_j,
-                    MContext(rip=rip, rsp=rsp, eflags=0,
-                             mxcsr=base | code_j, instruction=insn),
-                )
-                tr.handler_entry(task, "sigfpe", rip)
-                tr.decode(task, rip, insn)
-            if t_scope is not None:
+        if t_scope is not None:
+            sic_l = sic.tolist()
+            c = c0
+            for j in range(k):
                 t_scope.event(
-                    "sigfpe", cyc, pid=pid, tid=tid, rip=rip, sicode=sic_j
+                    "sigfpe", c + fault_c + deliv_c,
+                    pid=pid, tid=tid, rip=rip, sicode=sic_l[j],
                 )
-            cyc += huser_c
-            if rec[j]:
-                cyc += tapp_c
-                mon_seq += 1
-                if tr is not None:
-                    kernel.cycles = cyc
-                    tr.record(task, seq0 + mon_seq - 1)
-            if tr is not None:
-                kernel.cycles = cyc
-                tr.handler_exit(task, "sigfpe", "mask+tf")
-            cyc += ret_c
-            kernel.cycles = cyc
-            if prov is not None:
+                c += group_cost + (tapp_c if rec_l[j] else 0)
+        if prov is not None:
+            # Vectorized pre-scan: groups with only ordinary lanes can
+            # neither create, propagate, nor sink a chain, so only the
+            # exceptional (and partial-tail) groups replay through the
+            # exact per-event observe -- in event order, at the exact
+            # cycle the per-event path observes at (the masked
+            # re-execution, after the recording handler returns).  The
+            # scan covers the whole cached window once; each committed
+            # storm just slices its k groups out of it.
+            cache = block._storm_cache
+            cell = cache[7]
+            sus_w = cell[0]
+            if sus_w is None:
+                i0 = cache[2]
+                ng = block.n_groups - i0
+                sus_w = cell[0] = prov.scan_window(
+                    site,
+                    tuple(a[i0 * lanes:] for a in block.arrays),
+                    bits_flat, ng, lanes,
+                    block.take(block.n_groups - 1),
+                )
+            idxs = [j for j, s in
+                    enumerate(sus_w[rel:rel + k].tolist()) if s]
+            prov.observed += k - len(idxs)
+            for j in idxs:
+                kernel.cycles = (
+                    c0 + j * group_cost + tapp_c * sum(rec_l[:j])
+                    + obs_off + (tapp_c if rec_l[j] else 0)
+                )
                 g = block.index + j
                 take = block.take(g)
                 glo = (rel + j) * lanes
-                prov.observe(
+                marks[j] = prov.observe(
                     task, site, block.group(g)[:take],
                     tuple(bits_flat[glo:glo + take].tolist()),
-                    Flag(code_j),
+                    Flag(int(codes[j])),
                 )
-            cyc += fp_c
-            if tr is not None:
-                kernel.cycles = cyc
-                tr.fp_retired(task, rip, None)
-            cyc += fault_c
-            kernel.cycles = cyc
-            if tr is not None:
-                tr.trap_queued(task, True)
-            cyc += deliv_c
-            kernel.cycles = cyc
-            if tr is not None:
-                tr.signal_delivered(
-                    task, Signal.SIGTRAP, TRAP_TRACE_CODE,
-                    MContext(rip=end_rip, rsp=rsp, eflags=EFLAGS_TF,
-                             mxcsr=masked_base | code_j),
-                )
-                tr.handler_entry(task, "sigtrap", end_rip)
-            cyc += huser_c
-            kernel.cycles = cyc
-            if tr is not None:
-                tr.rearm(task, base, False)
-                tr.handler_exit(task, "sigtrap", "rearm")
-            cyc += ret_c + int_tail
+        if tr is not None:
+            tr.replicate_trees(
+                task, rip, end_rip, insn, rsp, base, masked_base,
+                sic, pend, codes, rec_l, seq0, c0,
+                (fault_c, deliv_c, huser_c, tapp_c, ret_c, fp_c,
+                 group_cost),
+                marks,
+            )
     finally:
-        task.trap_flag = prev_tf
         kernel.cycles = c0

@@ -224,9 +224,17 @@ def _trace_kernel(args):
     from repro.fpspy import fpspy_env
     from repro.kernel.kernel import Kernel, KernelConfig
 
+    sample = getattr(args, "sample", 0)
+    keep_all = getattr(args, "keep_all", False) or not sample
     kernel = Kernel(KernelConfig(
         tracing=True,
         trace_capacity=args.capacity,
+        # Interactive recording defaults to keep-all (tail sampling
+        # off): a developer replaying one run wants every tree.
+        # ``--sample N`` opts into the production 1-in-N tail sampler.
+        trace_tail=not keep_all,
+        trace_sample=sample if sample else 64,
+        trace_seed=getattr(args, "seed", 0),
         telemetry=bool(getattr(args, "telemetry", False)),
     ))
     env = {} if args.mode == "none" else fpspy_env(args.mode)
@@ -322,27 +330,33 @@ def _cmd_trace_coils(args) -> int:
     if expected is None:
         return 0
     # nanchain acceptance: every constructed kill site must trace back to
-    # its true origin RIP with the right kind.
-    failures = []
+    # its true origin RIP with the right kind (the same check the
+    # overhead benchmark gates on).
+    from repro.fp.provenance import verify_attribution
+
     coils = prov.coils()
-    for sink_rip, (origin_rip, kind) in sorted(expected.items()):
-        hit = any(
-            c.origin.rip == origin_rip
-            and c.origin.kind == kind
-            and any(rip == sink_rip for rip, _ in c.sinks)
-            for c in coils
-        )
-        if not hit:
-            failures.append(
-                f"sink 0x{sink_rip:x} not attributed to "
-                f"{kind} origin 0x{origin_rip:x}"
-            )
-    if failures:
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
+    attributed, total = verify_attribution(coils, expected)
+    if attributed != total:
+        for sink_rip, want in sorted(expected.items()):
+            if verify_attribution(coils, {sink_rip: want}) == (0, 1):
+                origin_rip, kind = want
+                print(f"FAIL: sink 0x{sink_rip:x} not attributed to "
+                      f"{kind} origin 0x{origin_rip:x}", file=sys.stderr)
         return 1
-    print(f"verified: {len(expected)}/{len(expected)} sinks attributed "
+    print(f"verified: {attributed}/{total} sinks attributed "
           f"to their true origin RIPs")
+    return 0
+
+
+def _cmd_trace_stats(args) -> int:
+    from repro.trace.stats import collect_stats
+
+    try:
+        st = collect_stats(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(st.render())
     return 0
 
 
@@ -493,6 +507,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="span ring-buffer capacity")
         sp.add_argument("--limit", type=int, default=20,
                         help="rows/lines printed")
+        sp.add_argument("--keep-all", action="store_true",
+                        help="retain every completed tree (the default; "
+                             "overrides --sample)")
+        sp.add_argument("--sample", type=int, default=0, metavar="N",
+                        help="tail-sample boring trees 1-in-N "
+                             "(default: keep all)")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="tail-sampler RNG seed")
 
     trec = trcsub.add_parser(
         "record", help="record a run; print the span log or save it")
@@ -519,6 +541,13 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="origin-site rollup ranked by propagation length")
     _trace_common(ttop)
     ttop.set_defaults(fn=_cmd_trace_top)
+
+    tstat = trcsub.add_parser(
+        "stats", help="offline stats for recorded span binaries")
+    tstat.add_argument("path",
+                       help="a .spans.bin file, a campaign artifact "
+                            "directory, or a directory of span files")
+    tstat.set_defaults(fn=_cmd_trace_stats)
     return p
 
 

@@ -1,53 +1,130 @@
-"""The trap-lifecycle flight recorder: a ring-buffered causal span tracer.
+"""The trap-lifecycle flight recorder: packed ring, tail sampling, rate control.
 
 Every FP trap the simulated machine takes is a short causal story --
 fault raised (CPU, pre-writeback), signal queued, signal delivered
 (kernel, mcontext snapshot), handler entry (FPSpy engine), decode,
 emulate/memo-hit, writeback, TF single-step trap, re-mask/re-arm -- and
-this module records that story as a linked chain of cycle-stamped
-:class:`Span` records with parent/child IDs, so one guest FP event is
-one causal tree (DESIGN.md decision #10).
+this module records that story as a linked chain of cycle-stamped spans
+with parent/child IDs, so one guest FP event is one causal tree
+(DESIGN.md decisions #10 and #12).
 
-Design rules, mirroring the telemetry bus (decision #8):
+Three layers make it cheap enough to leave on in production:
 
-* **Sim-cycle timestamps.**  Spans are stamped with the kernel's cycle
-  counter, never host wall-clock, so recorded timelines are
-  deterministic and replayable.
-* **Zero perturbation.**  Stamping a span never charges cycles, posts
-  signals, or touches architectural state; guest-visible traces and
-  cycle counts are byte-identical with tracing on or off
-  (``tests/property/test_tracing_props.py``).
-* **Bounded, never silent.**  Spans live in a ring buffer; overflow
-  drops the *oldest* span and counts the drop, surfaced through the
-  telemetry bus (``trace.ring.dropped`` in ``/proc/fpspy/counters``)
-  and the ``/proc/fpspy/trace`` header.
-* **Module-level no-op path.**  :data:`NULL_TRACER` is falsy and every
-  method is an inert no-op; hot sites pre-fetch
-  ``kernel.tracer if kernel.tracer else None`` and pay one
-  ``is not None`` branch when tracing is disabled.
+* **Packed span ring.**  The hot path never builds a Python
+  :class:`Span` object.  Spans are staged as fixed-shape tuples on the
+  task's open tree and, if the tree is retained, packed as fixed-width
+  80-byte records (``struct`` ``<10Q``) into a preallocated
+  ``bytearray`` ring.  Tree assembly back into :class:`Span` objects is
+  deferred to export time (:meth:`TraceRecorder.spans`).
+* **Tail-based sampling.**  A tree is classified when it *completes*
+  (NSan/Herbgrind-style): trees that touch a NaN/Inf/denorm provenance
+  origin or kill site, a trap-fusion bail-out, or a signal-disposition
+  change are always retained; the boring population is sampled
+  deterministically (seeded ``random.Random``, one draw per boring
+  tree) at 1-in-``period``.  Storm/chunk summary spans and orphan spans
+  commit directly and are always retained.
+* **Adaptive rate control.**  An AIMD controller watches the ring's
+  drop counter: drops in the last window double the boring-tree sample
+  period (tighten, up to ``MAX_PERIOD``); a quiet window halves it back
+  toward the configured base (relax).  Decisions surface as telemetry
+  counters/gauges (``trace.sampler.*``) and in the ``/proc/fpspy/trace``
+  header.
+
+Design rules carried over from the original recorder (decision #10):
+sim-cycle stamps only; zero guest perturbation (retention decisions are
+host-side and never consume guest entropy -- byte-identity is property
+tested with the sampler enabled); bounded and never silent (overwrites
+are counted overall *and* for interesting trees specifically); falsy
+:data:`NULL_TRACER` so disabled hook sites pay one prefetched-``None``
+branch.
 
 Exports: Chrome trace-event JSON (loads in ``chrome://tracing`` and
 Perfetto; :func:`to_chrome_json` / :func:`from_chrome_json` round-trip),
 packed binary via the :mod:`repro.trace.records` span-record layout, and
-a text rendering mounted at ``/proc/fpspy/trace``.
+a text rendering mounted at ``/proc/fpspy/trace``.  Retained roots carry
+a ``keep=<class>`` arg naming why their tree survived, so exported
+traces are self-describing for ``repro.study trace stats``.
 """
 
 from __future__ import annotations
 
 import json
-from collections import deque
+import random
+import struct
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.kernel.signals import Signal
+from repro.kernel.signals import EFLAGS_TF, TRAP_TRACE_CODE, Signal
+
+# Retention-class bits live in the dependency-free record layer (part
+# of the archival vocabulary) and are re-exported here for the
+# recorder's callers; ``repro.fp.provenance`` imports them from
+# :mod:`repro.trace.records` directly to stay out of this module's
+# kernel-facing import cycle.
+from repro.trace.records import (
+    CLS_BAILOUT,
+    CLS_DISPOSITION,
+    CLS_KEEPALL,
+    CLS_ORIGIN,
+    CLS_OVERFLOW,
+    CLS_SAMPLED,
+    CLS_SINK,
+    CLS_SUMMARY,
+    INTERESTING_MASK,
+    cls_label,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
     from repro.kernel.task import Task
 
-#: Default ring capacity: generous for whole-app individual-mode runs
-#: while bounding memory on trap storms (drops are counted, not silent).
+#: Default ring capacity in spans: generous for whole-app individual-mode
+#: runs while bounding memory on trap storms (drops are counted, not
+#: silent).
 DEFAULT_CAPACITY = 65536
+
+#: Default boring-tree sample period (1-in-N retained).
+DEFAULT_SAMPLE = 64
+
+#: The controller never tightens past this period.
+MAX_PERIOD = 8192
+
+#: Completed trees per adaptive-controller decision window.
+ADJUST_WINDOW = 128
+
+#: Staged spans per open tree before it is force-completed (class
+#: ``overflow``).  Ordinary lifecycle trees are ~14 spans; only a guest
+#: handler that never closes the Figure 5 cycle can grow one unboundedly.
+STAGE_CAP = 512
+
+# --------------------------------------------------------- encodings
+
+#: Span name table; the staged/packed name code indexes into this.
+_NAMES = (
+    "fp_fault", "signal_queued", "signal_delivered", "handler", "decode",
+    "record", "handler_ret", "rearm", "emulate", "writeback", "tf_trap",
+    "block_chunk", "storm",
+)
+(_N_FP_FAULT, _N_SIGNAL_QUEUED, _N_SIGNAL_DELIVERED, _N_HANDLER, _N_DECODE,
+ _N_RECORD, _N_HANDLER_RET, _N_REARM, _N_EMULATE, _N_WRITEBACK, _N_TF_TRAP,
+ _N_BLOCK_CHUNK, _N_STORM) = range(len(_NAMES))
+
+
+
+#: One packed ring record: span_id, parent_id, codeword
+#: (name | variant << 8), cycles, six argument words.
+_RING = struct.Struct("<10Q")
+_REC = _RING.size
+assert _REC == 80
+
+_SIGFPE = int(Signal.SIGFPE)
+
+#: Per-task open-tree state list indices (a list, not a dict/dataclass:
+#: the stamp path indexes it).
+_ROOT, _ANCHOR, _DELIVERED, _HANDLER, _BUF, _MARK, _PID, _TID = range(8)
+
+#: Placeholder slot metadata before a slot is first written.
+_EMPTY_SLOT = (0, 0, 0, False)
 
 
 @dataclass(frozen=True)
@@ -56,7 +133,8 @@ class Span:
 
     ``parent_id == 0`` marks a tree root.  ``args`` carries only
     JSON-safe scalars (ints and strings) so every export format can
-    round-trip it.
+    round-trip it.  Only built at export time; the recording hot path
+    stages tuples and packs fixed-width records.
     """
 
     span_id: int
@@ -75,6 +153,8 @@ class TraceRecorder:
     ``signal_delivered``, ``handler_entry``, ...); the recorder owns the
     per-task state machine that turns them into a parented span tree, so
     the machine/kernel/engine layers never track span IDs themselves.
+    ``note_*`` hooks mark the open tree's retention class (provenance
+    origins/sinks, fusion bail-outs, disposition changes).
 
     The causal shape of one individual-mode FP event::
 
@@ -87,11 +167,12 @@ class TraceRecorder:
            |  +- handler_ret
            +- emulate                (masked re-execution; memo_hit flag)
            +- writeback              (results retire)
-           +- tf_trap                (TF single-step trap; fused flag)
+           +- tf_trap               (TF single-step trap; fused flag)
            +- signal_delivered SIGTRAP
               +- handler sigtrap
                  +- rearm            (unmask capture set, clear TF)
-                 +- handler_ret      (tree completes)
+                 +- handler_ret      (tree completes; tail classifier
+                                      decides retain/discard here)
     """
 
     enabled = True
@@ -101,31 +182,78 @@ class TraceRecorder:
         kernel: "Kernel | None" = None,
         capacity: int = DEFAULT_CAPACITY,
         telemetry=None,
+        sample: int = DEFAULT_SAMPLE,
+        tail: bool = True,
+        adaptive: bool = True,
+        seed: int = 0,
     ) -> None:
         self.kernel = kernel
         self.capacity = max(16, int(capacity))
-        self._spans: deque[Span] = deque(maxlen=self.capacity)
+        # Ring storage grows geometrically up to capacity so a huge
+        # configured capacity costs nothing until spans actually commit.
+        self._alloc = min(self.capacity, 1024)
+        self._ring = bytearray(self._alloc * _REC)
+        #: Per-slot ``(class, pid, tid, is_root)`` tree metadata; one
+        #: shared tuple per committed tree, not one object per span.
+        self._slots: list[tuple] = [_EMPTY_SLOT] * self._alloc
+        self._committed = 0
         self._next_id = 1
-        #: Per-task open-tree state: ``{"root", "anchor", "delivered",
-        #: "handler"}`` span ids (0 = unset).
         self._live: dict = {}
+        self._pending: dict = {}  #: task -> class bits for its next tree
+        self._strs: list[str] = []
+        self._str_ids: dict[str, int] = {}
+        self._insn_cache: dict[bytes, tuple] = {}
+        #: Lazily interned (sigfpe, sigtrap, mask+tf, rearm) string ids
+        #: for the storm replicator's constant span args.
+        self._storm_strids: tuple | None = None
+
+        # Tail-sampling + adaptive-control state.
+        self._tail = bool(tail)
+        self._base_period = max(1, int(sample))
+        self._period = self._base_period
+        self._adaptive = bool(adaptive)
+        self._seed = int(seed)
+        self._rng = random.Random(self._seed)
+        self._since_adjust = 0
+        self._last_dropped = 0
+
         self.recorded = 0
         self.dropped = 0
         self.trees_completed = 0
-        # Ring drop/volume counters ride the telemetry bus when it is on
-        # (satellite: truncated traces are never silent).
+        self.trees_retained_interesting = 0
+        self.trees_retained_boring = 0
+        self.trees_discarded = 0
+        self.interesting_trees_dropped = 0
+        self.sampler_tightened = 0
+        self.sampler_relaxed = 0
+
+        # Ring/sampler counters ride the telemetry bus when it is on
+        # (satellite: truncated or sampled traces are never silent).
         if telemetry:
             sc = telemetry.scope("trace")
             self._t_spans = sc.counter("spans")
             self._t_dropped = sc.counter("ring.dropped")
+            self._t_idropped = sc.counter("ring.dropped_interesting")
             self._t_trees = sc.counter("trees.completed")
-            sc.gauge("ring.size", lambda: len(self._spans))
+            self._t_ret_i = sc.counter("trees.retained.interesting")
+            self._t_ret_b = sc.counter("trees.retained.boring")
+            self._t_disc = sc.counter("trees.discarded")
+            self._t_tight = sc.counter("sampler.tightened")
+            self._t_relax = sc.counter("sampler.relaxed")
+            sc.gauge("ring.size", lambda: min(self._committed, self.capacity))
             sc.gauge("ring.capacity", lambda: self.capacity)
             sc.gauge("trees.open", lambda: len(self._live))
+            sc.gauge("sampler.period", lambda: self._period)
         else:
             self._t_spans = None
             self._t_dropped = None
+            self._t_idropped = None
             self._t_trees = None
+            self._t_ret_i = None
+            self._t_ret_b = None
+            self._t_disc = None
+            self._t_tight = None
+            self._t_relax = None
 
     def __bool__(self) -> bool:
         return True
@@ -134,107 +262,178 @@ class TraceRecorder:
     def cycles(self) -> int:
         return self.kernel.cycles if self.kernel is not None else 0
 
+    @property
+    def sample_period(self) -> int:
+        """The controller's *current* boring-tree sample period."""
+        return self._period
+
+    # --------------------------------------------------- retention marks
+
+    def note_mark(self, task: "Task", bits: int) -> None:
+        """Mark this task's open tree with retention-class ``bits``
+        (``CLS_ORIGIN`` / ``CLS_SINK`` from the provenance tracker)."""
+        st = self._live.get(task)
+        if st is not None:
+            st[_MARK] |= bits
+
+    def note_bailout(self, task: "Task") -> None:
+        """Trap fusion bailed out during this tree's lifecycle."""
+        st = self._live.get(task)
+        if st is not None:
+            st[_MARK] |= CLS_BAILOUT
+        elif task is not None:
+            self._pending[task] = self._pending.get(task, 0) | CLS_BAILOUT
+
+    def note_disposition(self, task: "Task") -> None:
+        """A signal disposition changed (guest sigaction, monitor
+        disarm, step-aside).  Marks the open tree, else the task's next
+        tree."""
+        if task is None:
+            return
+        st = self._live.get(task)
+        if st is not None:
+            st[_MARK] |= CLS_DISPOSITION
+        else:
+            self._pending[task] = self._pending.get(task, 0) | CLS_DISPOSITION
+
     # ----------------------------------------------------------- stamping
 
-    def _stamp(self, task: "Task", name: str, parent: int, **args) -> int:
-        sid = self._next_id
-        self._next_id += 1
-        if len(self._spans) == self.capacity:
-            self.dropped += 1
-            if self._t_dropped is not None:
-                self._t_dropped.value += 1
-        self._spans.append(
-            Span(sid, parent, name, self.cycles, task.process.pid, task.tid, args)
-        )
-        self.recorded += 1
-        if self._t_spans is not None:
-            self._t_spans.value += 1
-        return sid
-
-    def _complete(self, task: "Task") -> None:
-        if self._live.pop(task, None) is not None:
-            self.trees_completed += 1
-            if self._t_trees is not None:
-                self._t_trees.value += 1
-
-    # ------------------------------------------------- lifecycle hooks
+    def _str_id(self, s: str) -> int:
+        i = self._str_ids.get(s)
+        if i is None:
+            i = len(self._strs)
+            self._strs.append(s)
+            self._str_ids[s] = i
+        return i
 
     def fp_fault(self, task: "Task", rip: int, sicode: int, flags: int) -> None:
         """The CPU raised a precise FP fault (pre-writeback) and queued
         its SIGFPE.  Opens this task's trap tree (or stamps a nested
         fault if one is already open)."""
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
         st = self._live.get(task)
         if st is None:
-            root = self._stamp(
-                task, "fp_fault", 0, rip=rip, sicode=sicode, flags=flags
-            )
-            self._live[task] = {
-                "root": root, "anchor": root, "delivered": 0, "handler": 0,
-            }
-            st = self._live[task]
+            self._next_id = sid + 2
+            self._live[task] = [
+                sid, sid, 0, 0,
+                [(sid, 0, _N_FP_FAULT, c, rip, sicode, flags, 0, 0, 0),
+                 (sid + 1, sid, _N_SIGNAL_QUEUED, c, _SIGFPE, 0, 0, 0, 0, 0)],
+                self._pending.pop(task, 0) if self._pending else 0,
+                task.process.pid, task.tid,
+            ]
         else:
-            self._stamp(
-                task, "fp_fault", st["anchor"], rip=rip, sicode=sicode,
-                flags=flags,
-            )
-        self._stamp(task, "signal_queued", st["root"], signo=int(Signal.SIGFPE))
+            buf = st[_BUF]
+            if len(buf) >= STAGE_CAP:
+                # A guest handler that never closes the cycle would grow
+                # this tree without bound: force-complete it (always
+                # retained, class "overflow") and open a fresh one.
+                st[_MARK] |= CLS_OVERFLOW
+                self._finish(task, st)
+                return self.fp_fault(task, rip, sicode, flags)
+            self._next_id = sid + 2
+            buf.append((sid, st[_ANCHOR], _N_FP_FAULT, c, rip, sicode, flags,
+                        0, 0, 0))
+            buf.append((sid + 1, st[_ROOT], _N_SIGNAL_QUEUED, c, _SIGFPE,
+                        0, 0, 0, 0, 0))
+        self.recorded += 2
 
     def signal_delivered(self, task: "Task", signo, code: int, mctx) -> None:
         """The kernel is crossing into a user handler; ``mctx`` is the
         exact mcontext snapshot the handler will see."""
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
         st = self._live.get(task)
-        parent = st["anchor"] if st is not None else 0
-        sid = self._stamp(
-            task, "signal_delivered", parent,
-            signo=int(signo), code=int(code), rip=mctx.rip, rsp=mctx.rsp,
-            eflags=mctx.eflags, mxcsr=mctx.mxcsr,
-        )
-        if st is not None:
-            st["delivered"] = sid
-            if signo == Signal.SIGFPE:
-                # Everything after a delivered SIGFPE -- handler, masked
-                # re-execution, single-step trap -- is causally its child.
-                st["anchor"] = sid
+        t = (sid, st[_ANCHOR] if st is not None else 0, _N_SIGNAL_DELIVERED,
+             c, int(signo), int(code), mctx.rip, mctx.rsp, mctx.eflags,
+             mctx.mxcsr)
+        if st is None:
+            self._commit_one(t, task.process.pid, task.tid)
+            return
+        st[_BUF].append(t)
+        st[_DELIVERED] = sid
+        if signo == Signal.SIGFPE:
+            # Everything after a delivered SIGFPE -- handler, masked
+            # re-execution, single-step trap -- is causally its child.
+            st[_ANCHOR] = sid
 
     def handler_entry(self, task: "Task", kind: str, rip: int = 0) -> None:
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        kid = self._str_id(kind)
         st = self._live.get(task)
         if st is None:
-            self._stamp(task, "handler", 0, kind=kind, rip=rip)
+            self._commit_one((sid, 0, _N_HANDLER, c, kid, rip, 0, 0, 0, 0),
+                             task.process.pid, task.tid)
             return
-        parent = st["delivered"] or st["anchor"]
-        st["handler"] = self._stamp(task, "handler", parent, kind=kind, rip=rip)
+        st[_BUF].append((sid, st[_DELIVERED] or st[_ANCHOR], _N_HANDLER, c,
+                         kid, rip, 0, 0, 0, 0))
+        st[_HANDLER] = sid
 
     def decode(self, task: "Task", rip: int, insn: bytes) -> None:
         st = self._live.get(task)
         if st is None:
             return
-        parent = st["handler"] or st["anchor"]
-        self._stamp(task, "decode", parent, rip=rip, insn=insn.hex())
+        enc = self._insn_cache.get(insn)
+        if enc is None:
+            enc = (int.from_bytes(insn[:8], "little"),
+                   int.from_bytes(insn[8:16], "little"), min(len(insn), 16))
+            if len(self._insn_cache) < 4096:
+                self._insn_cache[insn] = enc
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        st[_BUF].append((sid, st[_HANDLER] or st[_ANCHOR], _N_DECODE, c,
+                         rip, enc[0], enc[1], enc[2], 0, 0))
 
     def record(self, task: "Task", seq: int) -> None:
         st = self._live.get(task)
         if st is None:
             return
-        parent = st["handler"] or st["anchor"]
-        self._stamp(task, "record", parent, seq=seq)
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        st[_BUF].append((sid, st[_HANDLER] or st[_ANCHOR], _N_RECORD, c,
+                         seq, 0, 0, 0, 0, 0))
 
     def handler_exit(self, task: "Task", kind: str, action: str) -> None:
         st = self._live.get(task)
         if st is None:
             return
-        parent = st["handler"] or st["anchor"]
-        self._stamp(task, "handler_ret", parent, kind=kind, action=action)
-        st["handler"] = 0
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        st[_BUF].append((sid, st[_HANDLER] or st[_ANCHOR], _N_HANDLER_RET, c,
+                         self._str_id(kind), self._str_id(action), 0, 0, 0, 0))
+        st[_HANDLER] = 0
         if kind == "sigtrap":
             # Re-mask/re-arm done: the Figure 5 cycle is closed.
-            self._complete(task)
+            self._finish(task, st)
 
     def rearm(self, task: "Task", mxcsr: int, tf: bool) -> None:
         st = self._live.get(task)
         if st is None:
             return
-        parent = st["handler"] or st["anchor"]
-        self._stamp(task, "rearm", parent, mxcsr=mxcsr, tf=int(tf))
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        st[_BUF].append((sid, st[_HANDLER] or st[_ANCHOR], _N_REARM, c,
+                         mxcsr, int(tf), 0, 0, 0, 0))
 
     def fp_retired(self, task: "Task", rip: int, memo_hit) -> None:
         """The faulting instruction re-executed (masked) and retired.
@@ -243,15 +442,21 @@ class TraceRecorder:
         st = self._live.get(task)
         if st is None:
             return
-        args = {"rip": rip}
-        if memo_hit is not None:
-            args["memo_hit"] = int(memo_hit)
-        self._stamp(task, "emulate", st["anchor"], **args)
-        self._stamp(task, "writeback", st["anchor"], rip=rip)
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 2
+        self.recorded += 2
+        a = st[_ANCHOR]
+        code = _N_EMULATE if memo_hit is None else (
+            _N_EMULATE | ((2 if memo_hit else 1) << 8))
+        buf = st[_BUF]
+        buf.append((sid, a, code, c, rip, 0, 0, 0, 0, 0))
+        buf.append((sid + 1, a, _N_WRITEBACK, c, rip, 0, 0, 0, 0, 0))
         if not task.trap_flag:
             # No single-step trap will follow (handler disarmed or the
             # app's handler never set TF): the tree ends at writeback.
-            self._complete(task)
+            self._finish(task, st)
 
     def emulated(self, task: "Task", rip: int) -> None:
         """A handler supplied ``emulated_results``: trap-and-emulate
@@ -259,41 +464,476 @@ class TraceRecorder:
         st = self._live.get(task)
         if st is None:
             return
-        self._stamp(task, "emulate", st["anchor"], rip=rip, emulated=1)
-        self._stamp(task, "writeback", st["anchor"], rip=rip)
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 2
+        self.recorded += 2
+        a = st[_ANCHOR]
+        buf = st[_BUF]
+        buf.append((sid, a, _N_EMULATE | (3 << 8), c, rip, 0, 0, 0, 0, 0))
+        buf.append((sid + 1, a, _N_WRITEBACK, c, rip, 0, 0, 0, 0, 0))
         if not task.trap_flag:
-            self._complete(task)
+            self._finish(task, st)
 
     def trap_queued(self, task: "Task", fused: bool) -> None:
         """The TF single-step trap was raised (posted, or fused inline)."""
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
         st = self._live.get(task)
-        parent = st["anchor"] if st is not None else 0
-        self._stamp(task, "tf_trap", parent, fused=int(fused))
+        t = (sid, st[_ANCHOR] if st is not None else 0, _N_TF_TRAP, c,
+             int(fused), 0, 0, 0, 0, 0)
+        if st is None:
+            self._commit_one(t, task.process.pid, task.tid)
+        else:
+            st[_BUF].append(t)
 
     def chunk(self, task: "Task", rip: int, groups: int) -> None:
         """Coarse span for one vectorized quiescent block chunk: the
         fast path stamps the batch, never per-instruction detail."""
-        self._stamp(task, "block_chunk", 0, rip=rip, groups=groups)
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        self._commit_one((sid, 0, _N_BLOCK_CHUNK, c, rip, groups, 0, 0, 0, 0),
+                         task.process.pid, task.tid)
 
     def storm(self, task: "Task", rip: int, groups: int, recorded: int) -> None:
         """Summary span for one storm batch (DESIGN.md #11).  Stamped in
         *addition* to the per-event lifecycle trees the storm driver
         replicates, so batching never under-counts: readers see every
         fp_fault/handler/tf_trap tree plus one storm root naming the
-        batch that produced them."""
-        self._stamp(task, "storm", 0, rip=rip, groups=groups, recorded=recorded)
+        batch that produced them.  Always retained (class summary)."""
+        k = self.kernel
+        c = k.cycles if k is not None else 0
+        sid = self._next_id
+        self._next_id = sid + 1
+        self.recorded += 1
+        self._commit_one(
+            (sid, 0, _N_STORM, c, rip, groups, recorded, 0, 0, 0),
+            task.process.pid, task.tid)
+
+    def replicate_trees(
+        self,
+        task: "Task",
+        rip: int,
+        end_rip: int,
+        insn: bytes,
+        rsp: int,
+        base: int,
+        masked_base: int,
+        sic,
+        pend,
+        codes,
+        rec: list,
+        seq0: int,
+        c0: int,
+        costs: tuple,
+        marks: list,
+    ) -> None:
+        """Bulk stamp-for-stamp replication of a storm batch's trap trees.
+
+        The storm driver (DESIGN.md #11) replays ``k = len(rec)``
+        whole Figure 5 lifecycles; calling the 14 lifecycle hooks per
+        event would dominate the batch.  This method produces the exact
+        same spans -- identical names, parents, cycle stamps, and args
+        as the per-event path (property-tested by
+        ``tests/property/test_storm_props.py``) -- in one pass, and
+        crucially *classifies before materializing*: a boring tree the
+        tail sampler discards costs one RNG draw and a few counter
+        bumps, never 14 tuples.
+
+        ``costs`` is ``(fault, deliver, handler_user, trace_append,
+        sigreturn, fp_instr, group_cost)``; event ``j`` starts at ``c0
+        + j * group_cost`` plus one trace-append per earlier recorded
+        event, reconstructed only for retained trees.  ``marks[j]``
+        carries the provenance bits
+        :meth:`repro.fp.provenance.ProvenanceTracker.observe` returned
+        for the event (no tree is open during replication, so marks
+        travel by value instead of through ``note_mark``).  ``sic``,
+        ``pend``, and ``codes`` may be numpy integer arrays -- they are
+        indexed only for retained trees, and the ring packer normalizes
+        numpy scalars -- while ``rec`` and ``marks`` are plain lists
+        because every tree reads them.
+        """
+        fault_c, deliv_c, huser_c, tapp_c, ret_c, fp_c, group_cost = costs
+        pid = task.process.pid
+        tid = task.tid
+        ids = self._storm_strids
+        if ids is None:
+            # Interned lazily on first use (not in __init__) so the
+            # string-table order matches a per-event-only run.
+            ids = self._storm_strids = (
+                self._str_id("sigfpe"), self._str_id("sigtrap"),
+                self._str_id("mask+tf"), self._str_id("rearm"),
+            )
+        kid_fpe, kid_trap, aid_mask, aid_rearm = ids
+        enc = self._insn_cache.get(insn)
+        if enc is None:
+            enc = (int.from_bytes(insn[:8], "little"),
+                   int.from_bytes(insn[8:16], "little"), min(len(insn), 16))
+            if len(self._insn_cache) < 4096:
+                self._insn_cache[insn] = enc
+        sigtrap = int(Signal.SIGTRAP)
+        pending = self._pending.pop(task, 0) if self._pending else 0
+        if pending:
+            marks[0] |= pending
+        k = len(rec)
+        d0 = self.dropped
+        ret_i = ret_b = disc = 0
+        tail = self._tail
+        draw = self._rng.random
+        adaptive = self._adaptive
+        since = self._since_adjust
+        nid0 = self._next_id
+
+        def build(j, sid, has_rec, nrb, cls):
+            # One Figure 5 tree, stamp-for-stamp the per-event path's
+            # spans (ids, parents, cycles, args).  ``nrb`` is the count
+            # of recorded events before event ``j``; it fixes both the
+            # record sequence number and the start cycle (each earlier
+            # recorded event stretched its group by one trace append).
+            code_j = codes[j]
+            sic_j = sic[j]
+            c_fault = c0 + group_cost * j + tapp_c * nrb + fault_c
+            c_sd1 = c_fault + deliv_c
+            c_hret = c_sd1 + huser_c + (tapp_c if has_rec else 0)
+            c_em = c_hret + ret_c + fp_c
+            c_tf = c_em + fault_c
+            c_sd2 = c_tf + deliv_c
+            c_h2 = c_sd2 + huser_c
+            buf = [
+                (sid, 0, _N_FP_FAULT, c_fault, rip, sic_j, pend[j],
+                 0, 0, 0),
+                (sid + 1, sid, _N_SIGNAL_QUEUED, c_fault, _SIGFPE,
+                 0, 0, 0, 0, 0),
+                (sid + 2, sid, _N_SIGNAL_DELIVERED, c_sd1, _SIGFPE,
+                 sic_j, rip, rsp, 0, base | code_j),
+                (sid + 3, sid + 2, _N_HANDLER, c_sd1, kid_fpe, rip,
+                 0, 0, 0, 0),
+                (sid + 4, sid + 3, _N_DECODE, c_sd1, rip, enc[0],
+                 enc[1], enc[2], 0, 0),
+            ]
+            p = sid + 5
+            if has_rec:
+                buf.append((p, sid + 3, _N_RECORD, c_hret, seq0 + nrb,
+                            0, 0, 0, 0, 0))
+                p += 1
+            buf.append((p, sid + 3, _N_HANDLER_RET, c_hret, kid_fpe,
+                        aid_mask, 0, 0, 0, 0))
+            buf.append((p + 1, sid + 2, _N_EMULATE, c_em, rip,
+                        0, 0, 0, 0, 0))
+            buf.append((p + 2, sid + 2, _N_WRITEBACK, c_em, rip,
+                        0, 0, 0, 0, 0))
+            buf.append((p + 3, sid + 2, _N_TF_TRAP, c_tf, 1,
+                        0, 0, 0, 0, 0))
+            buf.append((p + 4, sid + 2, _N_SIGNAL_DELIVERED, c_sd2,
+                        sigtrap, TRAP_TRACE_CODE, end_rip, rsp,
+                        EFLAGS_TF, masked_base | code_j))
+            buf.append((p + 5, p + 4, _N_HANDLER, c_sd2, kid_trap,
+                        end_rip, 0, 0, 0, 0))
+            buf.append((p + 6, p + 5, _N_REARM, c_h2, base, 0,
+                        0, 0, 0, 0))
+            buf.append((p + 7, p + 5, _N_HANDLER_RET, c_h2, kid_trap,
+                        aid_rearm, 0, 0, 0, 0))
+            self._commit_tree(buf, cls, pid, tid)
+
+        # Steady-state fast path: every tree in the batch is boring, the
+        # controller is pinned at its base period with no pending drop
+        # signal, and the ring cannot wrap inside the batch.  Under
+        # those conditions the per-tree loop collapses to k ordered RNG
+        # draws (identical consumption to the slow path) plus counter
+        # arithmetic, and the controller boundary ticks are provably
+        # no-ops (zero drops at a base-period boundary adjust nothing),
+        # so `since` advances modularly.  Retained sampled trees -- one
+        # in `period` -- still materialize exactly.
+        if (
+            tail
+            and self._period > 1
+            and not any(marks)
+            and (not adaptive or (
+                self._period == self._base_period
+                and self.dropped == self._last_dropped))
+            and self._committed + 14 * k <= self.capacity
+        ):
+            period = self._period
+            sampled = [j for j in range(k) if draw() * period < 1.0]
+            nr = sum(rec)
+            nid = nid0 + 13 * k + nr
+            for j in sampled:
+                nrb = sum(rec[:j])
+                build(j, nid0 + 13 * j + nrb, rec[j], nrb, CLS_SAMPLED)
+            ret_b = len(sampled)
+            disc = k - ret_b
+            since += k
+            if adaptive:
+                since %= ADJUST_WINDOW
+        else:
+            seq = seq0
+            nid = nid0
+            for j in range(k):
+                has_rec = rec[j]
+                sid = nid
+                nid = sid + (14 if has_rec else 13)
+                nrb = seq - seq0
+                if has_rec:
+                    seq += 1
+                mark = marks[j]
+                if mark:
+                    cls = mark
+                    ret_i += 1
+                elif not tail:
+                    cls = CLS_KEEPALL
+                    ret_b += 1
+                elif self._period <= 1 or draw() * self._period < 1.0:
+                    cls = CLS_SAMPLED
+                    ret_b += 1
+                else:
+                    cls = 0
+                    disc += 1
+                if cls:
+                    build(j, sid, has_rec, nrb, cls)
+                # One controller tick per completed tree, exactly as the
+                # per-event path's _finish would have issued (inlined:
+                # the window check per tree, the decision only at the
+                # boundary).
+                since += 1
+                if since >= ADJUST_WINDOW and adaptive:
+                    since = 0
+                    self._adjust()
+        self._since_adjust = since
+        self._next_id = nid
+        total = nid - nid0
+        self.recorded += total
+        self.trees_completed += k
+        self.trees_retained_interesting += ret_i
+        self.trees_retained_boring += ret_b
+        self.trees_discarded += disc
+        if self._t_spans is not None:
+            self._t_spans.value += total
+            self._t_trees.value += k
+            self._t_ret_i.value += ret_i
+            self._t_ret_b.value += ret_b
+            self._t_disc.value += disc
+            if self.dropped != d0:
+                self._t_dropped.value += self.dropped - d0
+
+    # -------------------------------------------- completion + retention
+
+    def _finish(self, task: "Task", st: list) -> None:
+        """Classify a completed tree and retain or discard it."""
+        del self._live[task]
+        self.trees_completed += 1
+        buf = st[_BUF]
+        mark = st[_MARK]
+        if mark:
+            cls = mark
+            self.trees_retained_interesting += 1
+            if self._t_ret_i is not None:
+                self._t_ret_i.value += 1
+        elif not self._tail:
+            cls = CLS_KEEPALL
+            self.trees_retained_boring += 1
+            if self._t_ret_b is not None:
+                self._t_ret_b.value += 1
+        elif self._period <= 1 or self._rng.random() * self._period < 1.0:
+            cls = CLS_SAMPLED
+            self.trees_retained_boring += 1
+            if self._t_ret_b is not None:
+                self._t_ret_b.value += 1
+        else:
+            cls = 0
+            self.trees_discarded += 1
+            if self._t_disc is not None:
+                self._t_disc.value += 1
+        if cls:
+            d0 = self.dropped
+            self._commit_tree(buf, cls, st[_PID], st[_TID])
+            if self._t_dropped is not None and self.dropped != d0:
+                self._t_dropped.value += self.dropped - d0
+        if self._t_spans is not None:
+            self._t_spans.value += len(buf)
+            self._t_trees.value += 1
+        self._maybe_adjust()
+
+    def _maybe_adjust(self) -> None:
+        """AIMD rate control: one decision per ADJUST_WINDOW completed
+        trees, driven by the ring's drop counter (storm load tightens
+        the boring sample rate; quiescence relaxes it to the base)."""
+        self._since_adjust += 1
+        if self._since_adjust < ADJUST_WINDOW or not self._adaptive:
+            return
+        self._since_adjust = 0
+        self._adjust()
+
+    def _adjust(self) -> None:
+        drops = self.dropped - self._last_dropped
+        self._last_dropped = self.dropped
+        if drops:
+            if self._period < MAX_PERIOD:
+                self._period = min(MAX_PERIOD, self._period * 2)
+                self.sampler_tightened += 1
+                if self._t_tight is not None:
+                    self._t_tight.value += 1
+        elif self._period > self._base_period:
+            self._period = max(self._base_period, self._period // 2)
+            self.sampler_relaxed += 1
+            if self._t_relax is not None:
+                self._t_relax.value += 1
+
+    # ------------------------------------------------------- packed ring
+
+    def _grow(self, need: int) -> None:
+        new = min(self.capacity, max(self._alloc * 2, need + 1))
+        self._ring.extend(bytes((new - self._alloc) * _REC))
+        self._slots.extend([_EMPTY_SLOT] * (new - self._alloc))
+        self._alloc = new
+
+    def _commit_tree(self, buf: list, cls: int, pid: int, tid: int) -> None:
+        cap = self.capacity
+        n = self._committed
+        slots = self._slots
+        pk = _RING.pack_into
+        cur = (cls, pid, tid, True)  # first staged span is the root
+        rest = (cls, pid, tid, False)
+        for t in buf:
+            i = n % cap
+            if n >= cap:
+                old = slots[i]
+                self.dropped += 1
+                if old[3] and old[0] & INTERESTING_MASK:
+                    self.interesting_trees_dropped += 1
+                    if self._t_idropped is not None:
+                        self._t_idropped.value += 1
+            elif i >= self._alloc:
+                self._grow(i)
+            pk(self._ring, i * _REC, *t)
+            slots[i] = cur
+            cur = rest
+            n += 1
+        self._committed = n
+
+    def _commit_one(self, t: tuple, pid: int, tid: int) -> None:
+        """Direct-commit one span outside any tree (always retained)."""
+        cap = self.capacity
+        n = self._committed
+        i = n % cap
+        slots = self._slots
+        if n >= cap:
+            old = slots[i]
+            self.dropped += 1
+            if old[3] and old[0] & INTERESTING_MASK:
+                self.interesting_trees_dropped += 1
+                if self._t_idropped is not None:
+                    self._t_idropped.value += 1
+            if self._t_dropped is not None:
+                self._t_dropped.value += 1
+        elif i >= self._alloc:
+            self._grow(i)
+        _RING.pack_into(self._ring, i * _REC, *t)
+        slots[i] = (CLS_SUMMARY, pid, tid, False)
+        self._committed = n + 1
+        if self._t_spans is not None:
+            self._t_spans.value += 1
 
     # ------------------------------------------------------------ reads
 
+    def _span_from_rec(self, rec, pid: int, tid: int, keep_cls: int) -> Span:
+        sid, parent, codeword, cyc = rec[0], rec[1], rec[2], rec[3]
+        code = codeword & 0xFF
+        if code == _N_FP_FAULT:
+            args = {"rip": rec[4], "sicode": rec[5], "flags": rec[6]}
+            if parent == 0 and keep_cls:
+                args["keep"] = cls_label(keep_cls)
+        elif code == _N_SIGNAL_QUEUED:
+            args = {"signo": rec[4]}
+        elif code == _N_SIGNAL_DELIVERED:
+            args = {"signo": rec[4], "code": rec[5], "rip": rec[6],
+                    "rsp": rec[7], "eflags": rec[8], "mxcsr": rec[9]}
+        elif code == _N_HANDLER:
+            args = {"kind": self._strs[rec[4]], "rip": rec[5]}
+        elif code == _N_DECODE:
+            insn = (rec[5].to_bytes(8, "little")
+                    + rec[6].to_bytes(8, "little"))[:rec[7]]
+            args = {"rip": rec[4], "insn": insn.hex()}
+        elif code == _N_RECORD:
+            args = {"seq": rec[4]}
+        elif code == _N_HANDLER_RET:
+            args = {"kind": self._strs[rec[4]], "action": self._strs[rec[5]]}
+        elif code == _N_REARM:
+            args = {"mxcsr": rec[4], "tf": rec[5]}
+        elif code == _N_EMULATE:
+            v = codeword >> 8
+            args = {"rip": rec[4]}
+            if v == 1:
+                args["memo_hit"] = 0
+            elif v == 2:
+                args["memo_hit"] = 1
+            elif v == 3:
+                args["emulated"] = 1
+        elif code == _N_WRITEBACK:
+            args = {"rip": rec[4]}
+        elif code == _N_TF_TRAP:
+            args = {"fused": rec[4]}
+        elif code == _N_BLOCK_CHUNK:
+            args = {"rip": rec[4], "groups": rec[5]}
+        else:
+            args = {"rip": rec[4], "groups": rec[5], "recorded": rec[6]}
+        return Span(sid, parent, _NAMES[code], cyc, pid, tid, args)
+
     def spans(self) -> list[Span]:
-        return list(self._spans)
+        """Assemble every surviving span -- committed ring contents plus
+        currently staged (open) trees -- ordered by span id."""
+        out = []
+        cap = self.capacity
+        n = self._committed
+        unpack = _RING.unpack_from
+        ring = self._ring
+        slots = self._slots
+        for j in range(max(0, n - cap), n):
+            i = j % cap
+            cls, pid, tid, root = slots[i]
+            out.append(self._span_from_rec(
+                unpack(ring, i * _REC), pid, tid, cls if root else 0))
+        for st in self._live.values():
+            pid, tid = st[_PID], st[_TID]
+            for t in st[_BUF]:
+                out.append(self._span_from_rec(t, pid, tid, 0))
+        out.sort(key=lambda s: s.span_id)
+        return out
 
     def open_trees(self) -> int:
         return len(self._live)
 
+    def stats(self) -> dict:
+        """Retention/ring/sampler stats for benchmarks and campaigns."""
+        return {
+            "spans": self.recorded,
+            "spans_committed": self._committed,
+            "spans_dropped": self.dropped,
+            "trees_completed": self.trees_completed,
+            "trees_retained_interesting": self.trees_retained_interesting,
+            "trees_retained_boring": self.trees_retained_boring,
+            "trees_discarded": self.trees_discarded,
+            "interesting_trees_dropped": self.interesting_trees_dropped,
+            "sampler_period": self._period,
+            "sampler_base": self._base_period,
+            "sampler_tightened": self.sampler_tightened,
+            "sampler_relaxed": self.sampler_relaxed,
+            "tail": self._tail,
+            "seed": self._seed,
+            "capacity": self.capacity,
+        }
+
     def clear(self) -> None:
-        self._spans.clear()
+        self._committed = 0
+        self._slots = [_EMPTY_SLOT] * self._alloc
         self._live.clear()
+        self._pending.clear()
 
 
 # ------------------------------------------------------------- exports
@@ -407,8 +1047,8 @@ def spans_from_binary(data: bytes) -> list[Span]:
 
 
 def render_trace_text(recorder: "TraceRecorder") -> str:
-    """The ``/proc/fpspy/trace`` rendering: a drop-accounting header
-    plus one line per span, cycle-ordered."""
+    """The ``/proc/fpspy/trace`` rendering: a drop/retention-accounting
+    header plus one line per surviving span, cycle-ordered."""
     rows = []
     for s in recorder.spans():
         detail = " ".join(f"{k}={v}" for k, v in sorted(s.args.items()))
@@ -418,12 +1058,24 @@ def render_trace_text(recorder: "TraceRecorder") -> str:
             f"{s.name} {detail}".rstrip(),
         ))
     rows.sort(key=lambda r: (r[0], r[1]))
+    st = recorder.stats() if isinstance(recorder, TraceRecorder) else {}
     header = (
         f"# spans {recorder.recorded} dropped {recorder.dropped} "
         f"trees {recorder.trees_completed} open {recorder.open_trees()} "
-        f"capacity {recorder.capacity}\n"
+        f"capacity {recorder.capacity}"
     )
-    return header + "\n".join(r[2] for r in rows) + ("\n" if rows else "")
+    if st:
+        header += (
+            f" retained {st['trees_retained_interesting']}"
+            f"+{st['trees_retained_boring']}"
+            f" discarded {st['trees_discarded']}"
+            f" interesting_dropped {st['interesting_trees_dropped']}"
+            f" period {st['sampler_period']} base {st['sampler_base']}"
+            f" tightened {st['sampler_tightened']}"
+            f" relaxed {st['sampler_relaxed']}"
+            f" tail {'on' if st['tail'] else 'off'}"
+        )
+    return header + "\n" + "\n".join(r[2] for r in rows) + ("\n" if rows else "")
 
 
 # ---------------------------------------------------------- no-op path
@@ -445,6 +1097,13 @@ class NullTracer:
     recorded = 0
     dropped = 0
     trees_completed = 0
+    trees_retained_interesting = 0
+    trees_retained_boring = 0
+    trees_discarded = 0
+    interesting_trees_dropped = 0
+    sampler_tightened = 0
+    sampler_relaxed = 0
+    sample_period = 0
     cycles = 0
 
     def __bool__(self) -> bool:
@@ -486,11 +1145,26 @@ class NullTracer:
     def storm(self, *a, **k) -> None:
         pass
 
+    def note_mark(self, *a, **k) -> None:
+        pass
+
+    def replicate_trees(self, *a, **k) -> None:
+        pass
+
+    def note_bailout(self, *a, **k) -> None:
+        pass
+
+    def note_disposition(self, *a, **k) -> None:
+        pass
+
     def spans(self) -> list:
         return []
 
     def open_trees(self) -> int:
         return 0
+
+    def stats(self) -> dict:
+        return {}
 
     def clear(self) -> None:
         pass

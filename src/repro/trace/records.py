@@ -31,6 +31,45 @@ import numpy as np
 
 from repro.fp.flags import Flag, flags_to_events
 
+#: Retention-class bits.  The low bits are the *interesting* sinks a
+#: completed flight-recorder tree is classified by; ``SAMPLED`` /
+#: ``KEEPALL`` / ``SUMMARY`` mark retained-but-boring populations.
+#: They live here, in the dependency-free record layer, because they
+#: are part of the archival vocabulary (span args carry ``cls_label``
+#: output) and because both the recorder and the provenance tracker
+#: need them without importing each other.
+CLS_ORIGIN = 1  #: touched a NaN/Inf/denorm provenance origin/propagation
+CLS_SINK = 2  #: a provenance chain was killed / sank in this tree
+CLS_BAILOUT = 4  #: trap-fusion bail-out (architecturally meaningful ones)
+CLS_DISPOSITION = 8  #: signal disposition changed (sigaction, disarm)
+CLS_OVERFLOW = 16  #: staged tree hit STAGE_CAP and was force-completed
+CLS_SAMPLED = 32  #: boring tree retained by the statistical sampler
+CLS_KEEPALL = 64  #: boring tree retained because tail sampling is off
+CLS_SUMMARY = 128  #: direct-commit span (storm/chunk summary, orphan)
+
+#: Bits that make a tree "interesting": always retained, and their loss
+#: to ring overwrite is accounted separately (the <1% CI gate).
+INTERESTING_MASK = (
+    CLS_ORIGIN | CLS_SINK | CLS_BAILOUT | CLS_DISPOSITION | CLS_OVERFLOW
+)
+
+_CLS_NAMES = (
+    (CLS_ORIGIN, "origin"),
+    (CLS_SINK, "sink"),
+    (CLS_BAILOUT, "bailout"),
+    (CLS_DISPOSITION, "disposition"),
+    (CLS_OVERFLOW, "overflow"),
+    (CLS_SAMPLED, "sampled"),
+    (CLS_KEEPALL, "all"),
+    (CLS_SUMMARY, "summary"),
+)
+
+
+def cls_label(cls: int) -> str:
+    """Human/parseable label for a retention-class bitmask."""
+    return "+".join(name for bit, name in _CLS_NAMES if cls & bit) or "none"
+
+
 _STRUCT = struct.Struct("<QdQQIIII16s")
 RECORD_SIZE = _STRUCT.size
 assert RECORD_SIZE == 64

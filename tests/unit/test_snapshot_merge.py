@@ -121,3 +121,93 @@ def test_disjoint_scopes_union():
     merged = merge_snapshots([a, b])
     assert sorted(merged["scopes"]) == ["cpu", "vfs"]
     assert merged["scopes"]["vfs"]["flushes"] == 2
+
+
+# ----------------------------------------------- flight-recorder merge
+
+def _traced_snapshot(n=12, sample=2, seed=0):
+    """Typed snapshot from a real traced run (telemetry + tail sampler).
+
+    Inexact divides make *boring* trap trees and the final
+    divide-by-zero an *interesting* one, so with ``sample=2`` every
+    retention bucket (kept-interesting / kept-sampled / discarded) is
+    nonzero -- which is what makes the merge assertions meaningful.
+    """
+    from repro.fp.formats import float_to_bits64 as b64
+    from repro.fpspy import fpspy_env
+    from repro.guest.program import KernelBuilder
+    from repro.kernel.kernel import Kernel, KernelConfig
+
+    kb = KernelBuilder()
+    site = kb.site("divsd")
+    a = [b64(1.0)] * n
+    b = [b64(3.0)] * (n - 1) + [b64(0.0)]
+
+    def main():
+        yield from kb.emit(site, a, b, interleave=2)
+
+    k = Kernel(KernelConfig(
+        tracing=True, telemetry=True, trace_sample=sample, trace_seed=seed))
+    k.exec_process(main, env=fpspy_env("individual"), name="merge-probe")
+    k.run()
+    return k.telemetry.snapshot_typed(), k.tracer.stats()
+
+
+def test_trace_counters_match_recorder_stats():
+    """The bus copy of the retention tallies equals TraceRecorder.stats."""
+    snap, stats = _traced_snapshot()
+    flat = flatten_snapshot(merge_snapshots([snap]))
+    assert flat["trace.trees.completed"] == stats["trees_completed"]
+    assert flat["trace.trees.retained.interesting"] == \
+        stats["trees_retained_interesting"]
+    assert flat["trace.trees.retained.boring"] == \
+        stats["trees_retained_boring"]
+    assert flat["trace.trees.discarded"] == stats["trees_discarded"]
+    assert flat["trace.spans"] == stats["spans"]
+    assert flat.get("trace.ring.dropped", 0) == stats["spans_dropped"]
+    # Something actually happened in each retention bucket.
+    assert stats["trees_retained_interesting"] > 0
+    assert stats["trees_discarded"] > 0
+
+
+def test_trace_counters_sum_across_runs():
+    """Per-run sampler/ring counters sum through merge_snapshots."""
+    runs = [_traced_snapshot(seed=s)[0] for s in (0, 1, 2)]
+    flat = flatten_snapshot(merge_snapshots(runs))
+    singles = [flatten_snapshot(merge_snapshots([r])) for r in runs]
+    for key in ("trace.spans", "trace.trees.completed",
+                "trace.trees.retained.interesting",
+                "trace.trees.retained.boring", "trace.trees.discarded"):
+        assert flat[key] == sum(s[key] for s in singles), key
+
+
+def test_trace_merge_is_worker_count_invariant():
+    """Counter totals are invariant to how runs landed on workers.
+
+    The coordinator reassembles outcomes in spec order, but nothing in
+    the counter semantics may depend on that: any permutation (= any
+    worker interleaving) must merge to identical counter totals, and
+    repeated merges of the same inputs must be byte-deterministic.
+    """
+    runs = [_traced_snapshot(seed=s)[0] for s in (0, 1, 2, 3)]
+    reference = merge_snapshots(runs)
+    assert merge_snapshots(runs) == reference  # deterministic
+    for perm in ((3, 2, 1, 0), (1, 3, 0, 2)):
+        permuted = merge_snapshots([runs[i] for i in perm])
+        # Gauges are last-writer-wins by design; counters must agree.
+        ref_flat = flatten_snapshot(reference)
+        per_flat = flatten_snapshot(permuted)
+        for key in ref_flat:
+            if key.startswith("trace.") and "ring.size" not in key \
+                    and "trees.open" not in key \
+                    and "sampler.period" not in key \
+                    and "ring.capacity" not in key:
+                assert per_flat[key] == ref_flat[key], key
+
+
+def test_identical_seeds_make_identical_trace_snapshots():
+    """Same spec -> same typed snapshot: retention is replay-deterministic."""
+    a, sa = _traced_snapshot(seed=5)
+    b, sb = _traced_snapshot(seed=5)
+    assert a["scopes"]["trace"] == b["scopes"]["trace"]
+    assert sa == sb
