@@ -3,23 +3,43 @@
 FPSpy's evaluation is a *campaign*: dozens of independent spy runs
 (seven apps, the PARSEC/NAS suites, aggregate/individual modes,
 sampling configurations) whose only shared state is the final report.
-This package shards such campaigns across host worker processes with a
-deterministic spec-order merge -- the merged report is byte-identical
-for any ``--workers`` value -- and persists the cross-run softfloat
-memo cache so repeated campaigns (CI, figure regeneration) skip
-recomputing the results that dominate guest cycles.
+This package shards such campaigns across a warm worker pool
+(:class:`~repro.campaign.pool.WorkerPool`: spawn-once members,
+warm-started once from a shared memo snapshot blob, batched dispatch)
+with a deterministic spec-order merge -- the merged report is
+byte-identical for any ``--workers``, ``--batch-size``, and
+``--execution`` value -- and persists the cross-run softfloat memo
+cache so repeated campaigns (CI, figure regeneration) skip recomputing
+the results that dominate guest cycles.  An amortization-aware planner
+(:mod:`repro.campaign.planner`) degrades to in-process execution when
+the host cannot win; a campaign daemon
+(:class:`~repro.campaign.daemon.CampaignDaemon`) serves sustained
+submissions over one shared pool behind an async job queue with
+spec-hash dedup, a content-addressed artifact store, and per-submitter
+admission control.
 
-Entry points: ``python -m repro.study campaign run/status`` on the
-command line, :func:`run_campaign` / :class:`CampaignRunner` from code,
-and :func:`~repro.campaign.worker.execute_run` for single in-process
-runs (tests, notebooks).
+Entry points: ``python -m repro.study campaign run/status`` and
+``python -m repro.study serve`` /
+``campaign submit/poll/fetch/daemon-stats/shutdown`` on the command
+line, :func:`run_campaign` / :class:`CampaignRunner` /
+:class:`CampaignDaemon` from code, and
+:func:`~repro.campaign.worker.execute_run` for single in-process runs
+(tests, notebooks).
 """
 
 from repro.campaign.artifacts import (
+    ArtifactStore,
     write_bytes_atomic,
     write_json_atomic,
     write_text_atomic,
 )
+from repro.campaign.daemon import AdmissionError, CampaignDaemon, serve_http
+from repro.campaign.planner import (
+    ExecutionPlan,
+    plan_batches,
+    plan_execution,
+)
+from repro.campaign.pool import WorkerPool
 from repro.campaign.report import (
     CampaignResult,
     ResultAccumulator,
@@ -38,19 +58,27 @@ from repro.campaign.spec import (
 from repro.campaign.worker import RunOutcome, execute_run
 
 __all__ = [
+    "AdmissionError",
+    "ArtifactStore",
     "BUILTIN_CAMPAIGNS",
+    "CampaignDaemon",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "ExecutionPlan",
     "ResultAccumulator",
     "RunOutcome",
     "RunSpec",
+    "WorkerPool",
     "build_campaign",
     "execute_run",
     "figbench_campaign",
     "merge_outcomes",
+    "plan_batches",
+    "plan_execution",
     "render_report",
     "run_campaign",
+    "serve_http",
     "smoke_campaign",
     "write_bytes_atomic",
     "write_json_atomic",

@@ -1,0 +1,145 @@
+"""Amortization-aware execution planning for campaigns.
+
+The 0.75x lesson (BENCH_campaign.json before decision #13): parallel
+workers are only a win when the campaign's divisible work exceeds the
+fixed cost of standing the workers up.  On a 1-CPU host there is no
+divisible win at all, and on any host a four-run smoke campaign can
+finish in-process before the first spawned interpreter has imported
+numpy.  So execution is *planned*: the coordinator estimates total run
+cost from the specs, weighs it against the pool's standing cost, and
+degrades to plain in-process execution whenever the pool cannot pay for
+itself.  The plan also fixes the dispatch batch size -- several batches
+per worker for load balancing, but far fewer queue round-trips than
+one-index-per-``Queue.put``.
+
+The cost model is deliberately a two-constant affine estimate measured
+on the study targets, not a profile: planning must cost microseconds
+and be deterministic, and the decision only needs to be right in order
+of magnitude (the penalty for a wrong "pool" call is seconds of spawn
+overhead, the penalty for a wrong "inprocess" call is forgoing a
+speedup on a host with idle cores).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import asdict, dataclass
+
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+#: Measured cost of spawning one worker interpreter (spawn + imports).
+SPAWN_SECONDS = 0.45
+#: Measured cost of one worker loading a typical memo snapshot blob.
+SNAPSHOT_SECONDS = 0.15
+#: Per-run fixed cost (kernel construction, trace digesting).
+BASE_RUN_SECONDS = 0.04
+#: Marginal cost per unit of problem scale on the study targets.
+PER_SCALE_SECONDS = 0.11
+
+#: Batches handed to each worker over a campaign, roughly: small enough
+#: to amortize queue chatter, large enough that a slow batch cannot
+#: convoy the whole tail behind one worker.
+OVERSUBSCRIPTION = 4
+MAX_BATCH = 16
+
+EXECUTION_MODES = ("auto", "pool", "inprocess")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one campaign will be executed."""
+
+    mode: str  #: "pool" | "inprocess"
+    workers: int  #: pool width (1 for in-process)
+    batch_size: int
+    batches: int
+    reason: str
+    est_run_seconds: float  #: mean per-run estimate
+    est_total_seconds: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def estimate_run_seconds(spec: RunSpec) -> float:
+    """Affine per-run cost estimate from the spec alone."""
+    cost = BASE_RUN_SECONDS + PER_SCALE_SECONDS * spec.scale
+    if spec.tracing:
+        cost *= 1.1  # flight recorder enabled-mode overhead bound
+    return cost
+
+
+def plan_batches(n_runs: int, batch_size: int) -> list[tuple[int, ...]]:
+    """Deterministic contiguous partition of run indices into batches."""
+    return [
+        tuple(range(lo, min(lo + batch_size, n_runs)))
+        for lo in range(0, n_runs, batch_size)
+    ]
+
+
+def plan_execution(
+    campaign: CampaignSpec,
+    workers: int | None = None,
+    batch_size: int | None = None,
+    mode: str = "auto",
+    cpu_count: int | None = None,
+    pool_warm: bool = False,
+    has_snapshot: bool = False,
+) -> ExecutionPlan:
+    """Decide pool-vs-in-process and the dispatch batch size.
+
+    ``pool_warm`` says a started pool already exists (its spawn and
+    snapshot costs are sunk); ``has_snapshot`` says a cold pool would
+    additionally pay a snapshot load per worker.
+    """
+    if mode not in EXECUTION_MODES:
+        raise ValueError(
+            f"unknown execution mode {mode!r}; choose from {EXECUTION_MODES}")
+    n = len(campaign.runs)
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    requested = workers if workers is not None else cpus
+    eff = max(1, min(requested, n)) if n else 1
+    est_total = sum(estimate_run_seconds(r) for r in campaign.runs)
+    est_run = est_total / n if n else 0.0
+
+    def plan(m: str, w: int, reason: str) -> ExecutionPlan:
+        if m == "inprocess":
+            w, bs = 1, n or 1
+        else:
+            bs = batch_size if batch_size else max(
+                1, min(MAX_BATCH, math.ceil(n / (w * OVERSUBSCRIPTION))))
+        return ExecutionPlan(
+            mode=m,
+            workers=w,
+            batch_size=bs,
+            batches=math.ceil(n / bs) if n else 0,
+            reason=reason,
+            est_run_seconds=round(est_run, 6),
+            est_total_seconds=round(est_total, 6),
+        )
+
+    if mode == "pool":
+        return plan("pool", eff, "forced by caller")
+    if mode == "inprocess":
+        return plan("inprocess", 1, "forced by caller")
+    if n == 0:
+        return plan("inprocess", 1, "empty campaign")
+    if eff <= 1:
+        return plan("inprocess", 1, "single worker requested")
+    if cpus < 2:
+        return plan("inprocess", 1, f"host has {cpus} cpu")
+    # The divisible win is bounded by real cores, not requested workers.
+    speedup_width = min(eff, cpus)
+    parallel_win = est_total * (1.0 - 1.0 / speedup_width)
+    standing_cost = 0.0
+    if not pool_warm:
+        standing_cost = eff * (
+            SPAWN_SECONDS + (SNAPSHOT_SECONDS if has_snapshot else 0.0))
+    if parallel_win <= standing_cost:
+        return plan(
+            "inprocess", 1,
+            f"estimated parallel win {parallel_win:.2f}s cannot amortize "
+            f"{standing_cost:.2f}s pool standing cost")
+    return plan("pool", eff, f"parallel win {parallel_win:.2f}s clears "
+                             f"standing cost {standing_cost:.2f}s")

@@ -65,6 +65,9 @@ class ResultAccumulator:
             raise ValueError(f"outcome index {outcome.index} out of range")
         self._by_index[outcome.index] = outcome
 
+    def __contains__(self, index: int) -> bool:
+        return index in self._by_index
+
     @property
     def done(self) -> int:
         return len(self._by_index)
@@ -109,11 +112,24 @@ def merge_outcomes(
     host_section["run_host_seconds"] = [
         round(o.host_seconds, 6) for o in outcomes]
     host_section["attempts"] = [o.attempts for o in outcomes]
+    artifacts = {
+        str(o.index): list(o.trace_artifact)
+        for o in outcomes if o.trace_artifact}
+    if artifacts:
+        # Workers wrote these directly into the campaign directory; the
+        # merged result carries only the (name, size, sha256) triples.
+        host_section["trace_artifacts"] = artifacts
     telem = [o.telemetry for o in outcomes if o.telemetry is not None]
-    if telem:
+    # The coordinator's own bus (pool dispatch/batch counters, memo
+    # snapshot load time) merges in alongside the per-run kernels so
+    # telemetry tooling can attribute coordinator overhead -- even when
+    # no run had its kernel bus enabled.
+    coord = host_section.get("coordinator_telemetry")
+    if telem or coord:
         from repro.telemetry.snapshot import merge_snapshots
 
-        host_section["telemetry"] = merge_snapshots(telem)
+        host_section["telemetry"] = merge_snapshots(
+            telem + ([coord] if coord else []))
     return CampaignResult(
         campaign=campaign,
         outcomes=list(outcomes),

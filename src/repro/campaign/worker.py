@@ -1,30 +1,28 @@
-"""Campaign worker: executes run specs in isolated simulated kernels.
+"""Campaign run execution: one spec, one fresh simulated kernel.
 
-``worker_main`` is the spawn entry point.  Each worker process:
+:func:`execute_run` is the single execution path shared by every
+campaign strategy -- the warm worker pool's batch loop
+(:mod:`repro.campaign.pool`), the adaptive in-process fallback in the
+coordinator, and direct use from tests and notebooks.  Each run gets a
+**fresh** :class:`~repro.kernel.kernel.Kernel` (no simulated state
+crosses runs -- only the host-side softfloat memo, which is
+architecturally invisible), and returns a compact, picklable
+:class:`RunOutcome`.
 
-1. warm-starts the process-global softfloat memo from the persistent
-   cache file (if the campaign has one);
-2. pulls run indices off its task queue, executes each in a **fresh**
-   :class:`~repro.kernel.kernel.Kernel` (no simulated state crosses
-   runs -- only the host-side memo, which is architecturally invisible),
-   and streams a compact, picklable :class:`RunOutcome` back;
-3. on a clean shutdown, publishes its memo *delta* (entries it computed
-   beyond the warm start) so the coordinator can fold it into the cache.
-
-Failure isolation is deliberate: any exception escaping a run is
-treated as poisoning the worker, which reports a ``crash`` message and
-exits.  The coordinator retries the run once on a fresh worker and then
-records a structured failure -- one bad spec can never sink a campaign,
-and a wedged interpreter can never contaminate later runs.
+Exceptions escaping a run are deliberately left to propagate: the pool
+worker treats them as poisoning its interpreter (crash message, exit,
+batch retried on a fresh member), the in-process path treats them as a
+retryable structured failure, and a direct caller sees a test failure.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 from dataclasses import asdict, dataclass, field
 
-from repro.campaign.spec import PASS_NAMES, CampaignSpec, RunSpec
+from repro.campaign.spec import PASS_NAMES, RunSpec
 
 
 @dataclass
@@ -62,19 +60,29 @@ class RunOutcome:
     trace_stats: dict = field(default_factory=dict)
     #: Provenance rollup rows (``ProvenanceTracker.rollup_rows``).
     provenance: tuple[tuple, ...] = ()
-    #: Packed SpanRecord bytes for the per-run artifact.
-    trace_bin: bytes = field(default=b"", repr=False)
+    #: ``(filename, size_bytes, sha256 hex)`` of the packed-span artifact
+    #: the executing process wrote into the campaign's trace directory.
+    #: Workers write ``spans.bin`` files directly (never shipping span
+    #: bytes through the result queue -- a tracing campaign's runs carry
+    #: megabytes of packed records, and large pickles stall the queue);
+    #: the coordinator only ever sees this small digest triple.
+    trace_artifact: tuple = ()
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
-def execute_run(index: int, spec: RunSpec) -> RunOutcome:
+def execute_run(
+    index: int, spec: RunSpec, trace_dir: str | None = None,
+) -> RunOutcome:
     """Execute one run spec in a fresh simulated kernel (in-process).
 
     Raises on an invalid spec or a simulator bug; the caller decides
     whether that is a test failure (direct use) or a worker crash
-    (campaign use).
+    (campaign use).  For ``tracing`` specs, ``trace_dir`` names the
+    campaign directory where this process writes the packed-span
+    artifact (``runNNNN.spans.bin``) directly; without it the span
+    bytes are discarded after the tallies are taken.
     """
     from repro.fp.flags import flags_to_events
     from repro.kernel.kernel import Kernel, KernelConfig
@@ -118,6 +126,15 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
         data = kernel.vfs.read(path)
         digest.append((path, len(data), hashlib.sha256(data).hexdigest()))
 
+    trace_artifact: tuple = ()
+    if spec.tracing and trace_dir is not None:
+        from repro.campaign.artifacts import write_bytes_atomic
+
+        blob = to_binary(kernel.tracer.spans())
+        name = f"run{index:04d}.spans.bin"
+        write_bytes_atomic(os.path.join(trace_dir, name), blob)
+        trace_artifact = (name, len(blob), hashlib.sha256(blob).hexdigest())
+
     return RunOutcome(
         index=index,
         label=spec.label,
@@ -140,53 +157,5 @@ def execute_run(index: int, spec: RunSpec) -> RunOutcome:
         trace_stats=kernel.tracer.stats() if spec.tracing else {},
         provenance=(
             kernel.provenance.rollup_rows() if spec.tracing else ()),
-        trace_bin=(
-            to_binary(kernel.tracer.spans()) if spec.tracing else b""),
+        trace_artifact=trace_artifact,
     )
-
-
-def worker_main(
-    worker_id: int,
-    campaign_json: str,
-    task_q,
-    result_q,
-    memo_path: str | None,
-) -> None:
-    """Spawn entry point: drain the task queue, stream outcomes back.
-
-    Messages on ``result_q`` (all picklable tuples):
-
-    * ``("ready", worker_id, memo_status, warm_loaded)``
-    * ``("run", worker_id, RunOutcome)``
-    * ``("crash", worker_id, index, error_str)`` -- then the process exits
-    * ``("delta", worker_id, {memo key: result})``
-    * ``("bye", worker_id)``
-    """
-    campaign = CampaignSpec.from_json(campaign_json)
-
-    memo_status, warm_loaded = "off", 0
-    if memo_path:
-        from repro.isa.semantics import warm_start_memo
-
-        report = warm_start_memo(memo_path)
-        memo_status, warm_loaded = report.status, report.loaded
-    result_q.put(("ready", worker_id, memo_status, warm_loaded))
-
-    while True:
-        index = task_q.get()
-        if index is None:
-            break
-        try:
-            outcome = execute_run(index, campaign.runs[index])
-        except BaseException as exc:  # poisoned spec: isolate by dying
-            result_q.put(
-                ("crash", worker_id, index,
-                 f"{type(exc).__name__}: {exc}"))
-            return
-        result_q.put(("run", worker_id, outcome))
-
-    if memo_path:
-        from repro.isa.semantics import export_memo_delta
-
-        result_q.put(("delta", worker_id, export_memo_delta()))
-    result_q.put(("bye", worker_id))

@@ -95,6 +95,18 @@ class MemoSoftFPU(FastSoftFPU):
         self._warm = frozenset(entries) & frozenset(take)
         return len(self._cache)
 
+    def reset_warm(self) -> None:
+        """Drop the warm-start baseline; every resident entry becomes
+        publishable again.
+
+        A long-lived process (the campaign daemon, a pytest run) can
+        warm-start against *different* cache files over its lifetime;
+        entries warm-started from an earlier file are fresh news to the
+        next one, so the baseline belongs to the current warm-start
+        target, not to the process.
+        """
+        self._warm = frozenset()
+
     def export_delta(self) -> dict:
         """Entries computed *this* process (everything not warm-started).
 

@@ -317,6 +317,100 @@ def merge_into_cache(
 _MISSING = object()
 
 
+# ----------------------------------------------------------- snapshots
+#
+# A *snapshot* is the cache flattened into one JSON document: the warm
+# worker pool (DESIGN.md decision #13) converts the sqlite file into a
+# snapshot once per pool, and every worker loads that blob exactly once
+# per process lifetime -- one read + one ``json.loads`` (outer parsing
+# in C) instead of a per-campaign sqlite row walk per worker.  The same
+# schema-hash guard applies: a snapshot from another code version loads
+# as empty with ``status="schema-mismatch"``, never as wrong bits.
+
+#: Bump when the snapshot envelope itself changes shape.
+SNAPSHOT_VERSION = 1
+
+
+def write_snapshot(path: str | os.PathLike, entries: Mapping) -> int:
+    """Write live ``{key: result}`` entries as one snapshot blob.
+
+    Atomic like :func:`save_cache` (temp file + ``os.replace``).
+    Returns the number of entries written.
+    """
+    path = os.fspath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    rows = [
+        [encode_key(k).decode(), encode_value(v).decode()]
+        for k, v in entries.items()
+    ]
+    doc = {
+        "version": SNAPSHOT_VERSION,
+        "schema": SCHEMA_HASH,
+        "entries": rows,
+    }
+    fd, tmp = tempfile.mkstemp(prefix=".memosnap-", suffix=".tmp", dir=parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return len(rows)
+
+
+def load_snapshot(
+    path: str | os.PathLike, limit: int | None = None,
+) -> LoadReport:
+    """Load a snapshot blob into live-typed entries.
+
+    Same contract as :func:`load_cache`: never raises on a bad file --
+    absent, stale-schema, or corrupt blobs yield an empty report with
+    the reason in ``status``.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return LoadReport(entries={}, status="absent")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict):
+            return LoadReport(entries={}, status="corrupt")
+        if (doc.get("version") != SNAPSHOT_VERSION
+                or doc.get("schema") != SCHEMA_HASH):
+            return LoadReport(entries={}, status="schema-mismatch")
+        entries: dict = {}
+        for kstr, vstr in doc["entries"]:
+            entries[decode_key(kstr.encode())] = decode_value(vstr.encode())
+            if limit is not None and len(entries) >= limit:
+                break
+        return LoadReport(entries=entries, status="ok")
+    except (OSError, ValueError, TypeError, KeyError, UnicodeDecodeError,
+            json.JSONDecodeError):
+        return LoadReport(entries={}, status="corrupt")
+
+
+def snapshot_from_cache(
+    cache_path: str | os.PathLike,
+    snapshot_path: str | os.PathLike,
+) -> LoadReport:
+    """Flatten the sqlite cache at ``cache_path`` into a snapshot blob.
+
+    Returns the cache's :class:`LoadReport`; on any non-``ok`` status no
+    snapshot is written (workers simply start cold).
+    """
+    report = load_cache(cache_path)
+    if report.status == "ok" and report.entries:
+        write_snapshot(snapshot_path, report.entries)
+    return report
+
+
 def _entry_count(path: str | os.PathLike) -> int | None:
     """Entry count of a valid cache file, or None if absent/invalid."""
     path = os.fspath(path)

@@ -194,13 +194,18 @@ def _cmd_campaign_run(args) -> int:
         workers=args.workers,
         memo_path=memo_path,
         out_dir=args.out,
+        batch_size=args.batch_size,
+        execution=args.execution,
     )
     result = runner.run()
     print(result.report_text, end="")
 
     host = result.host
     memo = host["memo"]
+    plan = host["plan"]
     print()
+    print(f"execution: {plan['mode']} ({plan['reason']}), "
+          f"batch size {plan['batch_size']}")
     print(f"workers: {host['workers']} requested, "
           f"{host['spawned_workers']} spawned, {host['retries']} retr"
           f"{'y' if host['retries'] == 1 else 'ies'}")
@@ -394,6 +399,150 @@ def _cmd_campaign_status(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.campaign import CampaignDaemon, serve_http
+
+    daemon = CampaignDaemon(
+        args.data_dir, workers=args.workers, memo_path=args.memo_cache)
+    server = serve_http(daemon, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"campaign daemon listening on http://{host}:{port} "
+          f"(data dir {args.data_dir})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        daemon.shutdown()
+    print("campaign daemon stopped")
+    return 0
+
+
+def _daemon_request(url: str, path: str, body: dict | None = None) -> dict:
+    import json
+    import urllib.error
+    import urllib.request
+
+    req = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"},
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return json.loads(resp.read().decode())
+    except urllib.error.HTTPError as exc:
+        payload = exc.read().decode()
+        try:
+            reason = json.loads(payload).get("error", payload)
+        except ValueError:
+            reason = payload
+        raise RuntimeError(f"HTTP {exc.code}: {reason}") from None
+
+
+def _cmd_campaign_submit(args) -> int:
+    if args.spec.endswith(".json"):
+        import json
+        import pathlib
+
+        campaign = json.loads(pathlib.Path(args.spec).read_text())
+    else:
+        campaign = {"builtin": args.spec}
+        if args.scale is not None:
+            campaign["scale"] = args.scale
+        if args.seed is not None:
+            campaign["seed"] = args.seed
+        if args.telemetry:
+            campaign["telemetry"] = True
+        if args.tracing:
+            campaign["tracing"] = True
+    try:
+        ticket = _daemon_request(args.url, "/submit", {
+            "campaign": campaign, "submitter": args.submitter})
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    dedup = " (deduplicated)" if ticket.get("dedup") else ""
+    print(f"{ticket['job']} {ticket['state']}{dedup}")
+    return 0
+
+
+def _cmd_campaign_poll(args) -> int:
+    import time as _time
+
+    while True:
+        try:
+            status = _daemon_request(args.url, f"/status?job={args.job}")
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        progress = status.get("progress") or {}
+        done = progress.get("done", 0)
+        total = progress.get("total", "?")
+        print(f"{status['id']}: {status['state']}  runs {done}/{total}",
+              flush=True)
+        if status["state"] in ("done", "error", "cancelled"):
+            if status["state"] == "error":
+                print(f"error: {status['error']}", file=sys.stderr)
+            return 0 if status["state"] == "done" else 1
+        if not args.wait:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_campaign_fetch(args) -> int:
+    import pathlib
+
+    try:
+        result = _daemon_request(args.url, f"/result?job={args.job}")
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(result.pop("report_text"), end="")
+    print()
+    print(f"job {result['job']}: {result['runs']} runs, mode "
+          f"{result['mode']}, {result['host_wall_seconds']:.3f} s host wall")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        import urllib.request
+
+        for rel, digest in result["artifacts"].items():
+            with urllib.request.urlopen(
+                    args.url.rstrip("/") + f"/artifact?digest={digest}",
+                    timeout=60) as resp:
+                data = resp.read()
+            path = out / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(data)
+        print(f"wrote {len(result['artifacts'])} artifacts to {out}")
+    return 0
+
+
+def _cmd_campaign_shutdown(args) -> int:
+    try:
+        reply = _daemon_request(args.url, "/shutdown", {})
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"daemon: {reply['state']}")
+    return 0
+
+
+def _cmd_campaign_stats(args) -> int:
+    import json
+
+    try:
+        stats = _daemon_request(args.url, "/stats")
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="python -m repro.study",
@@ -483,6 +632,15 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--out", default=None,
                       help="artifact directory (status.json, "
                            "campaign_report.txt, campaign.json)")
+    crun.add_argument("--execution", default="auto",
+                      choices=["auto", "pool", "inprocess"],
+                      help="force the execution mode (default: the "
+                           "planner weighs pool standing cost against "
+                           "estimated campaign cost)")
+    crun.add_argument("--batch-size", dest="batch_size", type=int,
+                      default=None,
+                      help="runs per dispatched batch (default: planned "
+                           "from campaign size and worker count)")
     crun.set_defaults(fn=_cmd_campaign_run)
 
     cstat = campsub.add_parser(
@@ -490,6 +648,64 @@ def build_parser() -> argparse.ArgumentParser:
     cstat.add_argument("--out", required=True,
                        help="the campaign's artifact directory")
     cstat.set_defaults(fn=_cmd_campaign_status)
+
+    def _url_arg(sp):
+        sp.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="daemon base URL")
+
+    csub = campsub.add_parser(
+        "submit", help="submit a campaign to a running daemon")
+    _url_arg(csub)
+    csub.add_argument("--spec", default="smoke",
+                      help="builtin name (smoke, figbench) or spec JSON path")
+    csub.add_argument("--scale", type=float, default=None)
+    csub.add_argument("--seed", type=int, default=None)
+    csub.add_argument("--telemetry", action="store_true")
+    csub.add_argument("--tracing", action="store_true")
+    csub.add_argument("--submitter", default="cli",
+                      help="admission-control identity (default 'cli')")
+    csub.set_defaults(fn=_cmd_campaign_submit)
+
+    cpoll = campsub.add_parser(
+        "poll", help="poll a daemon job's state and progress")
+    _url_arg(cpoll)
+    cpoll.add_argument("--job", required=True)
+    cpoll.add_argument("--wait", action="store_true",
+                       help="keep polling until the job finishes")
+    cpoll.add_argument("--interval", type=float, default=0.5)
+    cpoll.set_defaults(fn=_cmd_campaign_poll)
+
+    cfetch = campsub.add_parser(
+        "fetch", help="fetch a finished daemon job's report and artifacts")
+    _url_arg(cfetch)
+    cfetch.add_argument("--job", required=True)
+    cfetch.add_argument("--out", default=None,
+                        help="also download every artifact here")
+    cfetch.set_defaults(fn=_cmd_campaign_fetch)
+
+    cdstats = campsub.add_parser(
+        "daemon-stats", help="print a running daemon's stats JSON")
+    _url_arg(cdstats)
+    cdstats.set_defaults(fn=_cmd_campaign_stats)
+
+    cshut = campsub.add_parser("shutdown", help="stop a running daemon")
+    _url_arg(cshut)
+    cshut.set_defaults(fn=_cmd_campaign_shutdown)
+
+    srv = sub.add_parser(
+        "serve", help="run the long-lived campaign daemon (warm pool + "
+                      "job queue + HTTP API)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8765)
+    srv.add_argument("--data-dir", dest="data_dir", default="campaignd",
+                     help="jobs, artifact store, and memo cache live here")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="pool width (default: planner-chosen per job)")
+    srv.add_argument("--memo-cache", dest="memo_cache", default=None,
+                     metavar="PATH",
+                     help="memo cache path ('off' to disable; default "
+                          "<data-dir>/memo.sqlite)")
+    srv.set_defaults(fn=_cmd_serve)
 
     trc = sub.add_parser(
         "trace", help="flight recorder: span trees and NaN/Inf provenance")

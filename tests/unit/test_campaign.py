@@ -104,7 +104,10 @@ def test_parallel_report_matches_serial_and_artifacts(tmp_path):
     serial = run_campaign(TINY, workers=1)
     out = tmp_path / "artifacts"
     out.mkdir()
-    parallel = run_campaign(TINY, workers=2, out_dir=out)
+    # Force pool mode: on small hosts the planner would (correctly)
+    # degrade to in-process, but this test exists to exercise the real
+    # multiprocessing path.
+    parallel = run_campaign(TINY, workers=2, out_dir=out, execution="pool")
     assert not serial.failed and not parallel.failed
     assert parallel.report_text == serial.report_text
     assert parallel.to_dict()["deterministic"] == (
@@ -125,7 +128,8 @@ def test_poisoned_spec_retried_once_then_failed_structured(tmp_path):
             RunSpec(app="NotAnApp"),
         ),
     )
-    result = run_campaign(poisoned, workers=2, out_dir=tmp_path)
+    result = run_campaign(
+        poisoned, workers=2, out_dir=tmp_path, execution="pool")
     good, bad = result.outcomes
     assert good.status == "ok" and good.attempts == 1
     assert bad.status == "failed"

@@ -218,3 +218,64 @@ def test_load_cache_never_raises_on_partial_file(tmp_path):
     report = load_cache(path)
     assert report.status == "corrupt"
     assert report.entries == {}
+
+
+# ------------------------------------------------------------ snapshots
+
+def test_snapshot_round_trip(tmp_path):
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    entries = fpu.export_delta()
+    snap = tmp_path / "memo.snapshot.json"
+    assert memodisk.write_snapshot(snap, entries) == len(entries)
+    report = memodisk.load_snapshot(snap)
+    assert report.status == "ok"
+    assert report.entries == entries
+
+
+def test_snapshot_absent_corrupt_and_schema_mismatch(tmp_path):
+    assert memodisk.load_snapshot(tmp_path / "nope").status == "absent"
+
+    bad = tmp_path / "bad.snapshot.json"
+    bad.write_text("{not json")
+    assert memodisk.load_snapshot(bad).status == "corrupt"
+    bad.write_text('["a list, not a doc"]')
+    assert memodisk.load_snapshot(bad).status == "corrupt"
+
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    snap = tmp_path / "memo.snapshot.json"
+    memodisk.write_snapshot(snap, fpu.export_delta())
+    import json as _json
+
+    doc = _json.loads(snap.read_text())
+    doc["schema"] = "0" * len(SCHEMA_HASH)
+    snap.write_text(_json.dumps(doc))
+    assert memodisk.load_snapshot(snap).status == "schema-mismatch"
+
+
+def test_snapshot_load_respects_limit(tmp_path):
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    snap = tmp_path / "memo.snapshot.json"
+    memodisk.write_snapshot(snap, fpu.export_delta())
+    report = memodisk.load_snapshot(snap, limit=2)
+    assert report.status == "ok"
+    assert len(report.entries) == 2
+
+
+def test_snapshot_from_cache_flattens_and_skips_bad_caches(tmp_path):
+    cache = tmp_path / "memo.sqlite"
+    snap = tmp_path / "memo.snapshot.json"
+
+    # Absent cache: no blob written, workers start cold.
+    report = memodisk.snapshot_from_cache(cache, snap)
+    assert report.status == "absent"
+    assert not snap.exists()
+
+    fpu = MemoSoftFPU()
+    _fill(fpu)
+    save_cache(cache, fpu.export_delta())
+    report = memodisk.snapshot_from_cache(cache, snap)
+    assert report.status == "ok"
+    assert memodisk.load_snapshot(snap).entries == fpu.export_delta()
