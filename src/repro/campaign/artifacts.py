@@ -19,7 +19,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
+
+#: The only names objects are stored under: lowercase sha256 hex.
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}")
 
 
 def write_bytes_atomic(path: str | os.PathLike, data: bytes) -> None:
@@ -85,6 +89,12 @@ class ArtifactStore:
                         os.path.join(shard_dir, name))
 
     def _path(self, digest: str) -> str:
+        # Digests come in from untrusted callers (the daemon's HTTP
+        # /artifact endpoint); anything that is not exactly a lowercase
+        # sha256 hex string must never reach os.path.join, or an
+        # absolute path / ``../`` sequence would escape the store root.
+        if not isinstance(digest, str) or not _DIGEST_RE.fullmatch(digest):
+            raise FileNotFoundError(f"not an artifact digest: {digest!r}")
         return os.path.join(self.root, "objects", digest[:2], digest)
 
     def put_bytes(self, data: bytes) -> str:
@@ -105,7 +115,10 @@ class ArtifactStore:
             return self.put_bytes(fh.read())
 
     def has(self, digest: str) -> bool:
-        return os.path.exists(self._path(digest))
+        try:
+            return os.path.exists(self._path(digest))
+        except FileNotFoundError:
+            return False
 
     def get(self, digest: str) -> bytes:
         with open(self._path(digest), "rb") as fh:

@@ -291,8 +291,13 @@ class CampaignDaemon:
 
     def _ensure_pool(self, plan_workers: int) -> WorkerPool:
         if self._pool is None or not self._pool.started:
+            # Size the standing pool for the daemon's lifetime, not for
+            # whichever job happens to arrive first: a pool created at
+            # the first job's planned width would permanently cap every
+            # later, wider job at that accident of arrival order.
+            width = self.workers or os.cpu_count() or 1
             self._pool = WorkerPool(
-                max(plan_workers, self.workers or 0),
+                max(plan_workers, width),
                 memo_path=self.memo_path).start()
         return self._pool
 

@@ -208,6 +208,16 @@ class WorkerPool:
                 time.perf_counter() - t0, 6)
             self.stats["snapshot_entries"] = report.loaded
             self.stats["snapshot_status"] = report.status
+            if report.status != "ok" or not report.loaded:
+                # snapshot_from_cache wrote no blob, so a leftover
+                # snapshot from an earlier pool run would warm workers
+                # with entries the current cache never sees -- and warm
+                # entries are excluded from deltas, so they would never
+                # be published to the new cache either.  Remove it.
+                try:
+                    os.unlink(snap)
+                except FileNotFoundError:
+                    pass
             # Workers always get the path when a memo is configured: an
             # absent/stale cache wrote no blob, so they load nothing and
             # report a cold start ("absent"), but still export their
@@ -301,15 +311,34 @@ class WorkerPool:
         if self._closed or not self._started:
             self._closed = True
             return self.stats
-        for w in self.live_workers():
-            w.task_q.put(("quit",))
+        quitting = []
+        for w in self._workers.values():
+            if w.proc.is_alive():
+                w.task_q.put(("quit",))
+            if not w.dead and not w.said_bye:
+                quitting.append(w)
+        # Drain until every non-crashed worker has said bye.  A worker
+        # exits right after enqueueing its delta/bye, so its process
+        # may be dead while those messages are still in the queue --
+        # liveness must not gate the drain, or a large memo delta gets
+        # dropped whenever its sender exits before we consume it.  A
+        # worker that died *without* a bye (killed on the way out)
+        # would stall the loop forever, so once every awaited process
+        # is dead we allow a short grace of empty polls, then give up
+        # on the silent ones.
         deadline = time.monotonic() + timeout
-        while (any(not w.said_bye for w in self.live_workers())
+        empty_after_death = 0
+        while (any(not w.said_bye for w in quitting)
                and time.monotonic() < deadline):
             try:
                 msg = self.result_q.get(timeout=0.2)
             except Exception:
+                if all(not w.proc.is_alive() for w in quitting):
+                    empty_after_death += 1
+                    if empty_after_death >= 5:  # ~1s past the last death
+                        break
                 continue
+            empty_after_death = 0
             kind, wid = msg[0], msg[1]
             if kind == "delta":
                 self._deltas[wid] = msg[2]

@@ -316,6 +316,25 @@ class CampaignRunner:
                 continue
             kind, wid = msg[0], msg[1]
             w = pool.worker(wid)
+            if kind in ("run", "batch_done", "crash") and msg[2] != key:
+                # Stale message from a previous campaign, buffered on a
+                # borrowed pool (e.g. the silent-death duplicate race
+                # below): another campaign's outcome must never land in
+                # this accumulator, and its crash index may not even
+                # exist in this spec.  Worker-level state is still
+                # real, though -- a finished old batch frees the
+                # worker, and a crashed worker is dead whichever
+                # campaign poisoned it.
+                if kind == "batch_done":
+                    w.assigned = None
+                elif kind == "crash" and not w.dead:
+                    pool.mark_crashed(w)
+                    crash_c.inc()
+                    deficit = min(width, len(batches) + len(inflight)) - len(
+                        pool.live_workers())
+                    for _ in range(max(0, deficit)):
+                        pool.spawn_worker()
+                continue
             if kind == "hello":
                 pool.note_hello(wid, msg[2], msg[3], msg[4])
             elif kind == "run":

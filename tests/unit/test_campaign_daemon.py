@@ -202,6 +202,41 @@ def test_http_errors_map_to_status_codes(http_daemon):
     assert exc.value.code == 404
 
 
+def test_http_artifact_rejects_path_escapes(http_daemon):
+    """/artifact must 404 anything that is not a sha256 digest -- an
+    absolute path or ../ sequence must never escape the store root."""
+    from urllib.parse import quote
+
+    _daemon, _server, url = http_daemon
+    for bad in ("/etc/passwd", "../../../../etc/passwd",
+                "..", "0" * 62 + "/x"):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(
+                url + "/artifact?digest=" + quote(bad, safe=""),
+                timeout=30)
+        assert exc.value.code == 404
+    # A well-formed but unknown digest is also a plain 404.
+    with pytest.raises(urllib.error.HTTPError) as exc:
+        urllib.request.urlopen(
+            url + "/artifact?digest=" + "0" * 64, timeout=30)
+    assert exc.value.code == 404
+
+
+def test_daemon_pool_sized_for_daemon_lifetime_not_first_job(
+        tmp_path, monkeypatch):
+    """The standing pool must not be capped at the first job's planned
+    width; later, wider jobs share the same pool."""
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    daemon = CampaignDaemon(tmp_path / "d", autostart=False)
+    try:
+        pool = daemon._ensure_pool(1)
+        assert pool.workers == 3
+    finally:
+        daemon.shutdown()
+
+
 def test_http_shutdown_stops_server(tmp_path):
     daemon = CampaignDaemon(tmp_path / "d")
     server = serve_http(daemon, port=0)

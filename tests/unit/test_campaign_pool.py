@@ -23,6 +23,7 @@ from repro.campaign import (
     smoke_campaign,
 )
 from repro.campaign.planner import MAX_BATCH, SPAWN_SECONDS
+from repro.campaign.pool import SNAPSHOT_SUFFIX
 from repro.campaign.runner import MAX_ATTEMPTS
 
 TINY = CampaignSpec(
@@ -173,6 +174,58 @@ def test_crash_mid_batch_retries_unfinished_on_fresh_member(tmp_path):
     assert pool_tel["batch_retries"] == 2
 
 
+def test_stale_snapshot_unlinked_when_cache_absent(tmp_path):
+    """A leftover snapshot blob must not outlive its cache: workers
+    would warm-load entries that are excluded from deltas and therefore
+    never published to the new cache."""
+    memo = tmp_path / "memo.sqlite"
+    snap = tmp_path / ("memo.sqlite" + SNAPSHOT_SUFFIX)
+    run_campaign(TINY, workers=1, memo_path=memo)  # seed the cache
+    with WorkerPool(1, memo_path=memo):
+        pass
+    assert snap.exists()
+    memo.unlink()  # the cache is gone; the blob is now stale
+    with WorkerPool(1, memo_path=memo) as pool:
+        assert not snap.exists()
+        assert pool.stats["snapshot_status"] == "absent"
+        for hello in pool.hello_info().values():
+            assert hello["memo_status"] == "absent"
+
+
+def test_close_drains_delta_from_worker_that_already_exited(tmp_path):
+    """A worker enqueues its delta/bye and exits immediately; the close
+    drain must keep consuming even though the process is already dead,
+    or the memo delta is silently dropped."""
+    memo = tmp_path / "memo.sqlite"
+    pool = WorkerPool(1, memo_path=memo).start()
+    CampaignRunner(TINY, execution="pool", pool=pool).run()
+    w = pool.live_workers()[0]
+    w.task_q.put(("quit",))
+    w.proc.join(timeout=60)
+    assert not w.proc.is_alive()
+    stats = pool.close()
+    assert w.said_bye
+    assert stats["published_entries"] > 0
+
+
+def test_borrowed_pool_drops_stale_campaign_messages(tmp_path):
+    """Buffered messages keyed to a previous campaign (the silent-death
+    duplicate race) must never land in the next campaign's accumulator
+    -- and a stale crash index may not even exist in the new spec."""
+    from repro.campaign.worker import RunOutcome
+
+    with WorkerPool(2) as pool:
+        first = CampaignRunner(TINY, execution="pool", pool=pool).run()
+        w = pool.all_workers()[0]
+        stale = RunOutcome(index=0, label="stale", status="ok")
+        pool.result_q.put(("run", w.id, "stale-key", 99, stale))
+        pool.result_q.put(("crash", w.id, "stale-key", 99, 999, "boom"))
+        pool.result_q.put(("batch_done", w.id, "stale-key", 99))
+        second = CampaignRunner(TINY, execution="pool", pool=pool).run()
+    assert second.report_text == first.report_text
+    assert all(o.status == "ok" for o in second.outcomes)
+
+
 def test_pool_rejects_use_after_close(tmp_path):
     pool = WorkerPool(1, memo_path=tmp_path / "memo.sqlite").start()
     pool.close()
@@ -247,6 +300,20 @@ def test_artifact_store_put_get_dedup(tmp_path):
     again = ArtifactStore(tmp_path / "store")
     assert again.stats["objects"] == 2
     assert again.stats["bytes"] == len(b"alpha") + len(b"beta")
+
+
+def test_artifact_store_rejects_traversal_digests(tmp_path):
+    """Only lowercase sha256 hex ever reaches the filesystem: the
+    daemon's /artifact endpoint feeds ``get`` untrusted strings."""
+    store = ArtifactStore(tmp_path / "store")
+    secret = tmp_path / "secret.txt"
+    secret.write_text("keep out")
+    for bad in ("/etc/passwd", str(secret), "../secret.txt", "..",
+                "A" * 64, "0" * 63, "0" * 65,
+                "0" * 62 + "/x", ""):
+        assert not store.has(bad)
+        with pytest.raises(FileNotFoundError):
+            store.get(bad)
 
 
 def test_artifact_store_put_file(tmp_path):
