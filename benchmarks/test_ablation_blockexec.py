@@ -67,6 +67,7 @@ def test_blockexec_speedup_aggregate_mode(benchmark):
             "speedup": round(speedup, 2),
             "cycles": kf.cycles,
         },
+        gates={"speedup": {"min": MIN_SPEEDUP}},
     )
     assert speedup >= MIN_SPEEDUP, (
         f"block engine speedup {speedup:.2f}x below {MIN_SPEEDUP}x bar"

@@ -130,6 +130,10 @@ def test_trapfast_speedup_individual_mode(benchmark):
             "bailout_rate": round(bailouts / (bailouts + stats["groups"]), 4),
             "softfloat_memo": memo_stats(),
         },
+        gates={
+            "speedup": {"min": MIN_SPEEDUP},
+            "storm_speedup": {"min": MIN_STORM_SPEEDUP},
+        },
     )
     assert fused_speedup >= MIN_SPEEDUP, (
         f"trap-storm fast path speedup {fused_speedup:.2f}x "

@@ -46,24 +46,40 @@ SATURATION_JOBS = 6
 RESULTS_JSON = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
 
 
-def _merge_results(payload: dict, keep_prefix: str | None = None) -> None:
+def _merge_results(
+    payload: dict,
+    keep_prefix: str | None = None,
+    gates: dict | None = None,
+) -> None:
     """Read-modify-write so the two benchmarks share one artifact.
 
     ``keep_prefix`` drops every existing key outside that prefix, so a
     schema change in one benchmark cannot leave stale keys behind while
-    still preserving the other benchmark's section.
+    still preserving the other benchmark's section.  Understands both
+    the envelope (``{"metrics": ...}``) and the legacy flat layout, so
+    the first post-migration run upgrades an old artifact in place.
     """
-    existing = {}
+    existing: dict = {}
+    existing_gates: dict = {}
     if RESULTS_JSON.exists():
         try:
-            existing = json.loads(RESULTS_JSON.read_text())
+            d = json.loads(RESULTS_JSON.read_text())
         except ValueError:
-            existing = {}
+            d = {}
+        if isinstance(d.get("metrics"), dict):
+            existing = d["metrics"]
+            existing_gates = dict(d.get("gates") or {})
+        elif isinstance(d, dict):
+            existing = d
     if keep_prefix is not None:
         existing = {
             k: v for k, v in existing.items() if k.startswith(keep_prefix)}
+        existing_gates = {
+            k: v for k, v in existing_gates.items()
+            if k.startswith(keep_prefix)}
     existing.update(payload)
-    write_results(RESULTS_JSON, existing)
+    existing_gates.update(gates or {})
+    write_results(RESULTS_JSON, existing, gates=existing_gates)
 
 
 def test_campaign_scaling_and_memo(benchmark, tmp_path):
@@ -150,6 +166,9 @@ def test_campaign_scaling_and_memo(benchmark, tmp_path):
             "memo_published_entries": (
                 cold.host["memo"]["published_entries"]),
         },
+        gates=(
+            {"speedup_4w": {"min": MIN_SPEEDUP_4W}} if host_cpus >= 4
+            else {"fallback_ratio": {"min": MIN_FALLBACK_RATIO}}),
     )
     if host_cpus >= 4:
         assert speedup_4w >= MIN_SPEEDUP_4W, (

@@ -110,6 +110,9 @@ def test_telemetry_overhead(benchmark):
                 k: round(v, 6) for k, v in prof.report().items()
             },
         },
+        gates={
+            "disabled_guard_overhead_pct": {"max": MAX_DISABLED_PCT},
+        },
     )
     # The tier-1 promise; the enabled-mode delta is reported, not gated
     # (it includes the self-profiler's perf_counter pairs here).

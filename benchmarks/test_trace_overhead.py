@@ -40,7 +40,7 @@ from repro.telemetry.procfs import PROC_ROOT
 from repro.telemetry.tracing import NULL_TRACER, to_binary, to_chrome_json
 from repro.validation.programs import provenance_program
 
-from benchmarks.conftest import BENCH_SEED, write_results
+from benchmarks.conftest import BENCH_SEED, bench_artifact, write_results
 
 #: Guard executions assumed per guest op -- a deliberate overcount (the
 #: real hot paths run ~4: fault check, retire hook, provenance, trap).
@@ -63,8 +63,8 @@ ABLATION_SCALE = 3.0
 
 _ROOT = Path(__file__).resolve().parent.parent
 RESULTS_JSON = _ROOT / "BENCH_traceoverhead.json"
-SAMPLE_TRACE = _ROOT / "BENCH_traceoverhead.trace.json"
-SPANS_BIN = _ROOT / "BENCH_traceoverhead.spans.bin"
+SAMPLE_TRACE = bench_artifact("BENCH_traceoverhead.trace.json")
+SPANS_BIN = bench_artifact("BENCH_traceoverhead.spans.bin")
 
 
 def _run(tracing):
@@ -229,6 +229,11 @@ def test_trace_overhead(benchmark):
             "nanchain_attributed": f"{attributed}/{total}",
             "sample_trace": SAMPLE_TRACE.name,
             "spans_bin": SPANS_BIN.name,
+        },
+        gates={
+            "enabled_overhead_pct": {"max": MAX_ENABLED_PCT},
+            "disabled_guard_overhead_pct": {"max": MAX_DISABLED_PCT},
+            "interesting_drop_pct": {"max": MAX_INTERESTING_DROP_PCT},
         },
     )
     assert disabled_pct <= MAX_DISABLED_PCT, (

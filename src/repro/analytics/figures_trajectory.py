@@ -1,0 +1,70 @@
+"""The ``trajectory`` figure group: BENCH history as a perf dashboard.
+
+``BENCH_*.json`` artifacts accumulate one snapshot per benchmark run;
+loading a history tree (or just the repo root's current set) yields a
+trajectory of every scalar metric, and -- for enveloped artifacts that
+declare ``gates`` -- a dashboard row per gate with its threshold band
+and current margin.  These views are diffable only in the trivial
+sense (perf numbers move run to run), so both are ``diffable=False``:
+the CI regression gate for perf stays with the benchmarks' own gate
+assertions; this group is for *looking* at the trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.analytics import vega
+from repro.analytics.frames import Figure, Frame
+from repro.analytics.registry import register_figure
+
+
+@register_figure(
+    "traj_metrics", group="trajectory",
+    title="Benchmark metric trajectory", diffable=False)
+def traj_metrics(ctx) -> Figure | None:
+    """Every scalar metric from every loaded BENCH artifact."""
+    if not ctx.bench:
+        return None
+    frame = Frame(columns=("bench", "timestamp", "metric", "value"))
+    for rec in ctx.bench:
+        for metric, value in rec.numeric_metrics().items():
+            frame.append(bench=rec.name, timestamp=rec.timestamp,
+                         metric=metric, value=value)
+    if not frame.rows:
+        return None
+    spec = vega.line(
+        frame, x="timestamp", y="value", color="metric",
+        title="Benchmark metrics over time")
+    return Figure(frame=frame, spec=spec)
+
+
+@register_figure(
+    "traj_gates", group="trajectory",
+    title="Benchmark gate margins with threshold bands", diffable=False)
+def traj_gates(ctx) -> Figure | None:
+    """Gated metrics against their declared max/min bounds."""
+    if not ctx.bench:
+        return None
+    frame = Frame(columns=(
+        "bench", "timestamp", "metric", "value", "bound_kind", "bound",
+        "margin"))
+    for rec in ctx.bench:
+        metrics = rec.numeric_metrics()
+        for metric, band in sorted(rec.gates.items()):
+            if metric not in metrics or not isinstance(band, dict):
+                continue
+            value = metrics[metric]
+            for kind in ("max", "min"):
+                if kind not in band:
+                    continue
+                bound = float(band[kind])
+                # Margin: headroom toward the bound, positive = passing.
+                margin = (bound - value) if kind == "max" else (value - bound)
+                frame.append(
+                    bench=rec.name, timestamp=rec.timestamp, metric=metric,
+                    value=value, bound_kind=kind, bound=bound, margin=margin)
+    if not frame.rows:
+        return None
+    spec = vega.layered_gate(
+        frame, x="timestamp", y="value", bound="bound", color="metric",
+        title="Gated benchmark metrics vs. thresholds")
+    return Figure(frame=frame, spec=spec)

@@ -1,0 +1,186 @@
+"""Vega-Lite spec builders and the static HTML report.
+
+Specs are plain dicts following the Vega-Lite v5 schema with the
+figure's data inlined (``data.values``), so each ``<name>.vl.json`` is
+self-contained -- droppable into the Vega editor or embedded by the
+generated ``index.html``.  Spec JSON is serialized with sorted keys so
+the emitted bytes are as deterministic as the CSVs.
+
+The HTML index loads the vega runtime from the public CDN; offline it
+degrades to the embedded data tables (every figure's rows are also in
+the companion CSV next to the HTML).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+
+from repro.analytics.frames import Frame
+
+SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+_CDN = (
+    "https://cdn.jsdelivr.net/npm/vega@5",
+    "https://cdn.jsdelivr.net/npm/vega-lite@5",
+    "https://cdn.jsdelivr.net/npm/vega-embed@6",
+)
+
+
+def spec_json_bytes(spec: dict) -> bytes:
+    return (json.dumps(spec, indent=2, sort_keys=True) + "\n").encode()
+
+
+def _base(frame: Frame, mark, title: str, width: int, height: int) -> dict:
+    return {
+        "$schema": SCHEMA,
+        "title": title,
+        "width": width,
+        "height": height,
+        "data": {"values": frame.to_records()},
+        "mark": mark,
+    }
+
+
+def _field(name: str, ftype: str, **extra) -> dict:
+    enc = {"field": name, "type": ftype}
+    enc.update(extra)
+    return enc
+
+
+def bar(
+    frame: Frame, x: str, y: str, title: str,
+    color: str | None = None, x_type: str = "nominal",
+    sort: str | None = None, width: int = 560, height: int = 260,
+) -> dict:
+    spec = _base(frame, "bar", title, width, height)
+    x_enc = _field(x, x_type)
+    if sort:
+        x_enc["sort"] = sort
+    spec["encoding"] = {"x": x_enc, "y": _field(y, "quantitative")}
+    if color:
+        spec["encoding"]["color"] = _field(color, "nominal")
+    return spec
+
+
+def line(
+    frame: Frame, x: str, y: str, title: str,
+    color: str | None = None, x_type: str = "ordinal",
+    point: bool = True, width: int = 560, height: int = 260,
+) -> dict:
+    spec = _base(
+        frame, {"type": "line", "point": point}, title, width, height)
+    spec["encoding"] = {
+        "x": _field(x, x_type), "y": _field(y, "quantitative")}
+    if color:
+        spec["encoding"]["color"] = _field(color, "nominal")
+    return spec
+
+
+def heatmap(
+    frame: Frame, x: str, y: str, value: str, title: str,
+    value_type: str = "nominal", width: int = 640, height: int = 280,
+) -> dict:
+    spec = _base(frame, "rect", title, width, height)
+    spec["encoding"] = {
+        "x": _field(x, "nominal"),
+        "y": _field(y, "nominal"),
+        "color": _field(value, value_type),
+    }
+    return spec
+
+
+def layered_gate(
+    frame: Frame, x: str, y: str, bound: str, title: str,
+    color: str | None = None, width: int = 560, height: int = 260,
+) -> dict:
+    """A metric line with its threshold band rendered as a rule layer."""
+    value_layer = {
+        "mark": {"type": "line", "point": True},
+        "encoding": {
+            "x": _field(x, "ordinal"),
+            "y": _field(y, "quantitative"),
+        },
+    }
+    if color:
+        value_layer["encoding"]["color"] = _field(color, "nominal")
+    rule_layer = {
+        "mark": {"type": "rule", "strokeDash": [6, 3]},
+        "encoding": {
+            "x": _field(x, "ordinal"),
+            "y": _field(bound, "quantitative"),
+        },
+    }
+    return {
+        "$schema": SCHEMA,
+        "title": title,
+        "width": width,
+        "height": height,
+        "data": {"values": frame.to_records()},
+        "layer": [value_layer, rule_layer],
+    }
+
+
+# ---------------------------------------------------------------- HTML
+
+
+def html_index(entries: list[dict], title: str) -> str:
+    """The self-contained report page.
+
+    ``entries`` rows carry ``name``, ``group``, ``title``, ``spec``
+    (generated figures) or ``skipped`` (reason string).  Specs embed
+    inline; the page renders them with vega-embed from the CDN and
+    keeps working as a navigable skip/coverage report without it.
+    """
+    scripts = "\n".join(f'<script src="{u}"></script>' for u in _CDN)
+    sections = []
+    embeds = []
+    group = None
+    for i, e in enumerate(entries):
+        if e["group"] != group:
+            group = e["group"]
+            sections.append(f'<h2>{html.escape(group)} figures</h2>')
+        name = html.escape(e["name"])
+        label = html.escape(e["title"])
+        if e.get("skipped"):
+            reason = html.escape(e["skipped"])
+            sections.append(
+                f'<div class="fig skipped"><h3>{name}</h3>'
+                f'<p>{label}</p><p class="why">skipped: {reason}</p></div>')
+            continue
+        sections.append(
+            f'<div class="fig"><h3>{name}</h3><p>{label} '
+            f'(<a href="{name}.csv">csv</a>, '
+            f'<a href="{name}.vl.json">spec</a>)</p>'
+            f'<div id="vis{i}"></div></div>')
+        spec_js = json.dumps(e["spec"], sort_keys=True)
+        embeds.append(
+            f'vegaEmbed("#vis{i}", {spec_js}, {{actions: false}})'
+            '.catch(console.warn);')
+    body = "\n".join(sections)
+    script = "\n".join(embeds)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{html.escape(title)}</title>
+{scripts}
+<style>
+body {{ font-family: sans-serif; margin: 2rem auto; max-width: 64rem; }}
+.fig {{ margin: 1.5rem 0; padding: 0.5rem 1rem; border: 1px solid #ddd; }}
+.fig.skipped {{ background: #fafafa; color: #777; }}
+.why {{ font-style: italic; }}
+h2 {{ border-bottom: 2px solid #333; }}
+</style>
+</head>
+<body>
+<h1>{html.escape(title)}</h1>
+{body}
+<script>
+if (typeof vegaEmbed !== "undefined") {{
+{script}
+}}
+</script>
+</body>
+</html>
+"""

@@ -53,6 +53,7 @@ from repro.campaign.spec import (
     RunSpec,
     build_campaign,
     figbench_campaign,
+    figures_campaign,
     smoke_campaign,
 )
 from repro.campaign.worker import RunOutcome, execute_run
@@ -73,6 +74,7 @@ __all__ = [
     "build_campaign",
     "execute_run",
     "figbench_campaign",
+    "figures_campaign",
     "merge_outcomes",
     "plan_batches",
     "plan_execution",

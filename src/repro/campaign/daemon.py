@@ -100,6 +100,18 @@ class CampaignDaemon:
             "submitted": 0, "completed": 0, "failed_jobs": 0,
             "dedup_jobs": 0, "rejected_429": 0, "rejected_503": 0,
         }
+        # Service telemetry rides the same bus abstraction the kernel
+        # uses (scope "campaign.daemon"), so daemon counters merge and
+        # render with every other telemetry surface in the repo.
+        from repro.telemetry.bus import TelemetryBus
+
+        self.telemetry = TelemetryBus()
+        scope = self.telemetry.scope("campaign.daemon")
+        self._http_requests = scope.labeled("http_requests")
+        scope.gauge("queue_depth", lambda: len(self._queue))
+        scope.gauge("uptime_seconds", lambda: round(
+            time.monotonic() - self._started_monotonic, 3))
+        scope.gauge("jobs_known", lambda: len(self._jobs))
         self._thread = threading.Thread(
             target=self._scheduler, name="campaign-daemon", daemon=True)
         self._started = False
@@ -260,7 +272,77 @@ class CampaignDaemon:
             }
             if self._pool is not None:
                 out["pool"] = dict(self._pool.stats)
+            out["http_requests"] = dict(self._http_requests.as_dict())
+            out["telemetry"] = self.telemetry.snapshot_typed()
         return out
+
+    def record_request(self, endpoint: str) -> None:
+        """Count one HTTP request against its endpoint label.
+
+        Unknown paths collapse into ``"other"`` so a scanning client
+        cannot grow the label set without bound.
+        """
+        known = ("/status", "/result", "/artifact", "/stats", "/figures",
+                 "/submit", "/shutdown")
+        self._http_requests.inc(endpoint if endpoint in known else "other")
+
+    # ----------------------------------------------------------- figures
+
+    def figures_index(self) -> dict:
+        """The analytics figure registry, for ``GET /figures``."""
+        from repro.analytics import all_figures
+
+        return {"figures": [
+            {"name": d.name, "group": d.group, "title": d.title,
+             "diffable": d.diffable, "tolerance": d.tolerance}
+            for d in all_figures()]}
+
+    def figures(self, job_id: str) -> dict:
+        """Render (or reuse) the analytics report for a finished job.
+
+        Figures generate into ``<job dir>/figures`` on first request
+        and are served from there afterwards -- figure data is a pure
+        function of the job's deterministic artifacts, so the cache
+        never goes stale.
+        """
+        import json as _json
+
+        from repro.analytics import build_context, generate_figures
+        from repro.analytics.generate import MANIFEST_NAME
+
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            state = job["state"]
+        if state != "done":
+            raise AdmissionError(409, f"job {job_id} is {state}, not done")
+        fig_dir = os.path.join(self._job_dir(job_id), "figures")
+        manifest_path = os.path.join(fig_dir, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            with open(manifest_path, encoding="utf-8") as fh:
+                return _json.load(fh)
+        ctx = build_context(
+            campaign_dirs=[self._job_dir(job_id)],
+            daemon_stats=self.stats())
+        return generate_figures(
+            fig_dir, ctx,
+            title=f"campaign daemon: figures for {job_id}")
+
+    def figures_file(self, job_id: str, name: str) -> tuple[bytes, str]:
+        """One rendered figure artifact (HTML index, spec, or CSV)."""
+        if name != os.path.basename(name) or name.startswith("."):
+            raise FileNotFoundError(name)  # no traversal via file=
+        self.figures(job_id)  # ensure rendered
+        path = os.path.join(self._job_dir(job_id), "figures", name)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        ctype = {
+            ".html": "text/html; charset=utf-8",
+            ".json": "application/json",
+            ".csv": "text/csv; charset=utf-8",
+        }.get(os.path.splitext(name)[1], "application/octet-stream")
+        return data, ctype
 
     # --------------------------------------------------------- scheduler
 
@@ -386,8 +468,22 @@ def serve_http(daemon: CampaignDaemon, host: str = "127.0.0.1",
 
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
             path, q = self._query()
+            daemon.record_request(path)
             try:
-                if path == "/status":
+                if path == "/figures":
+                    if "job" not in q:
+                        self._reply(200, daemon.figures_index())
+                    elif "file" in q:
+                        data, ctype = daemon.figures_file(
+                            q["job"], q["file"])
+                        self.send_response(200)
+                        self.send_header("Content-Type", ctype)
+                        self.send_header("Content-Length", str(len(data)))
+                        self.end_headers()
+                        self.wfile.write(data)
+                    else:
+                        self._reply(200, daemon.figures(q["job"]))
+                elif path == "/status":
                     self._reply(200, daemon.status(q["job"]))
                 elif path == "/result":
                     self._reply(200, daemon.result(q["job"]))
@@ -412,6 +508,7 @@ def serve_http(daemon: CampaignDaemon, host: str = "127.0.0.1",
 
         def do_POST(self) -> None:  # noqa: N802
             path, _q = self._query()
+            daemon.record_request(path)
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
             try:

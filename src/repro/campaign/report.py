@@ -155,6 +155,17 @@ def _deterministic_run(o: RunOutcome) -> dict:
         "individual_records": o.individual_records,
         "trace_digest": [list(t) for t in o.trace_digest],
     }
+    if o.event_counts:
+        d["event_counts"] = dict(o.event_counts)
+    if o.rankpop:
+        # (code, forms_all, inexact_form_pairs, inexact_addr_pairs) per
+        # code -- architecturally determined, deterministically ordered
+        # (repro.analysis.extract), so the figure pipeline's input is
+        # invariant under worker count and completion order.
+        d["rankpop"] = [
+            [code, list(forms), [list(p) for p in form_pairs],
+             [list(p) for p in addr_pairs]]
+            for code, forms, form_pairs, addr_pairs in o.rankpop]
     if o.spans_recorded or o.provenance:
         # Flight-recorder tallies are architecturally determined (span
         # stamps follow the simulated trap lifecycle), so they belong in

@@ -151,9 +151,28 @@ def figbench_campaign(scale: float = 1.0, seed: int = 1234) -> CampaignSpec:
     return CampaignSpec(name="figbench", runs=tuple(runs))
 
 
+def figures_campaign(scale: float = 1.0, seed: int = 1234) -> CampaignSpec:
+    """Every study target under all four passes, baseline included.
+
+    The full input set of the ``repro.analytics`` paper-figure group:
+    the three monitored passes feed the event tables and rank-popularity
+    figures, and the baseline pass supplies the unencumbered wall times
+    Figure 7's inventory quotes.
+    """
+    runs = []
+    for mode in ("baseline",) + _FIG_PASSES:
+        for target in TARGET_NAMES:
+            runs.append(RunSpec(
+                app=target, mode=mode, scale=scale, seed=seed,
+                variant=pass_variant(mode, target),
+            ))
+    return CampaignSpec(name="figures", runs=tuple(runs))
+
+
 BUILTIN_CAMPAIGNS = {
     "smoke": smoke_campaign,
     "figbench": figbench_campaign,
+    "figures": figures_campaign,
 }
 
 

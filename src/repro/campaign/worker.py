@@ -50,6 +50,12 @@ class RunOutcome:
     individual_records: int = 0
     #: ``(path, size_bytes, sha256 hex)`` per trace file, path-sorted.
     trace_digest: tuple[tuple[str, int, str], ...] = ()
+    #: Individual-record count per event name (:data:`EVENT_ORDER`
+    #: order, zero-count events omitted) -- Figure 15's raw material.
+    event_counts: dict = field(default_factory=dict)
+    #: Per-code rank-popularity inputs for Figures 17-19
+    #: (:func:`repro.analysis.extract.code_rankpop_inputs`).
+    rankpop: tuple = ()
     #: Typed telemetry snapshot (``snapshot_typed``) when enabled.
     telemetry: dict | None = field(default=None, repr=False)
     #: Flight-recorder tallies (``RunSpec.tracing`` runs only).
@@ -84,6 +90,7 @@ def execute_run(
     artifact (``runNNNN.spans.bin``) directly; without it the span
     bytes are discarded after the tallies are taken.
     """
+    from repro.analysis.extract import code_rankpop_inputs, per_event_counts
     from repro.fp.flags import flags_to_events
     from repro.kernel.kernel import Kernel, KernelConfig
     from repro.study.passes import pass_env
@@ -119,6 +126,12 @@ def execute_run(
     system = sum(t.stime_cycles for p in procs for t in p.tasks.values()) / freq
 
     traces = TraceSet.from_vfs(kernel.vfs)
+    # Figure-grade distillation (repro.analytics): each run ships the
+    # per-event record counts and per-code rank-popularity inputs, so
+    # the paper's evaluation figures regenerate from campaign.json
+    # without the raw trace bytes ever leaving the worker.
+    event_counts = per_event_counts(traces.all_records())
+    rankpop = code_rankpop_inputs(traces.records_by_app())
     digest = []
     for path in kernel.vfs.listdir(""):
         if path.startswith(PROC_ROOT):
@@ -149,6 +162,8 @@ def execute_run(
         aggregate_records=len(traces.aggregate),
         individual_records=traces.count(),
         trace_digest=tuple(sorted(digest)),
+        event_counts=event_counts,
+        rankpop=rankpop,
         telemetry=(
             kernel.telemetry.snapshot_typed() if spec.telemetry else None),
         spans_recorded=kernel.tracer.recorded if spec.tracing else 0,

@@ -3,7 +3,11 @@
 Commands
 --------
 ``figures``   run the four-pass study and print every table/figure
-              (optionally a subset, optionally written to a directory)
+              (optionally a subset, optionally written to a directory);
+              subcommands ``list``/``generate``/``diff``/``serve`` drive
+              the offline analytics engine over campaign artifacts
+              (``repro.analytics``: Vega-Lite specs + CSVs + HTML index,
+              CI regression diffing against a committed baseline)
 ``validate``  run the paper's validation matrix
 ``overhead``  just the Figure 6 overhead sweep
 ``spy``       run one named application under FPSpy and dump its traces
@@ -57,6 +61,97 @@ def _cmd_figures(args) -> int:
             print(f"wrote {path}")
         else:
             print(text)
+    return 0
+
+
+def _cmd_figures_list(args) -> int:
+    from repro.analytics import all_figures
+
+    for d in all_figures(group=args.group):
+        tag = "" if d.diffable else "  [not diffed]"
+        print(f"{d.name:<28s} {d.group:<11s} {d.title}{tag}")
+    return 0
+
+
+def _cmd_figures_generate(args) -> int:
+    import json
+
+    from repro.analytics import build_context, generate_figures
+
+    daemon_stats = None
+    if args.daemon_stats:
+        with open(args.daemon_stats, encoding="utf-8") as fh:
+            daemon_stats = json.load(fh)
+    ctx = build_context(
+        campaign_dirs=args.campaign or [],
+        bench_paths=args.bench or [],
+        daemon_stats=daemon_stats,
+    )
+    manifest = generate_figures(
+        args.out, ctx, group=args.group, names=args.figure)
+    generated = skipped = 0
+    for name, entry in manifest["figures"].items():
+        if entry["status"] == "generated":
+            generated += 1
+            print(f"{name:<28s} {entry['rows']:>5d} rows -> {entry['csv']}")
+        else:
+            skipped += 1
+            print(f"{name:<28s} skipped: {entry['reason']}")
+    print(f"\n{generated} figures generated, {skipped} skipped; "
+          f"report at {args.out}/index.html")
+    return 0
+
+
+def _cmd_figures_diff(args) -> int:
+    from repro.analytics import diff_figures
+
+    try:
+        drift = diff_figures(
+            args.baseline, args.new, group=args.group, names=args.figure)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if drift:
+        for line in drift:
+            print(f"DRIFT {line}", file=sys.stderr)
+        print(f"{len(drift)} figure drift(s) vs baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"figure data matches baseline {args.baseline}")
+    return 0
+
+
+def _cmd_figures_serve(args) -> int:
+    if args.dir:
+        from functools import partial
+        from http.server import SimpleHTTPRequestHandler, ThreadingHTTPServer
+
+        handler = partial(SimpleHTTPRequestHandler, directory=args.dir)
+        server = ThreadingHTTPServer((args.host, args.port), handler)
+        host, port = server.server_address[:2]
+        print(f"serving figure report {args.dir} on http://{host}:{port}/",
+              flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+    if not args.job:
+        print("figures serve needs --dir DIR (static) or --job ID "
+              "(render on the campaign daemon at --url)", file=sys.stderr)
+        return 2
+    try:
+        manifest = _daemon_request(args.url, f"/figures?job={args.job}")
+    except RuntimeError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    figures = manifest.get("figures", {})
+    generated = [n for n, e in figures.items() if e["status"] == "generated"]
+    print(f"daemon rendered {len(generated)} figures for job {args.job}")
+    print(f"report: {args.url.rstrip('/')}/figures"
+          f"?job={args.job}&file=index.html")
     return 0
 
 
@@ -557,6 +652,56 @@ def build_parser() -> argparse.ArgumentParser:
                      help="subset of figure ids (default: all)")
     fig.add_argument("--out", help="write each figure to <out>/<id>.txt")
     fig.set_defaults(fn=_cmd_figures)
+
+    # Analytics-engine subcommands; a bare ``figures`` (no subcommand)
+    # keeps the legacy live-study regeneration above.
+    figsub = fig.add_subparsers(dest="figures_command")
+
+    flist = figsub.add_parser(
+        "list", help="list registered analytics figures")
+    flist.add_argument("--group", choices=["paper", "fleet", "trajectory"])
+    flist.set_defaults(fn=_cmd_figures_list)
+
+    fgen = figsub.add_parser(
+        "generate",
+        help="generate Vega-Lite specs + CSVs + HTML from artifacts")
+    fgen.add_argument("--campaign", action="append", metavar="DIR",
+                      help="campaign output directory (repeatable; first "
+                           "one feeds the paper group)")
+    fgen.add_argument("--bench", action="append", metavar="PATH",
+                      help="BENCH_*.json file or history directory "
+                           "(repeatable)")
+    fgen.add_argument("--daemon-stats", dest="daemon_stats", metavar="JSON",
+                      help="a saved GET /stats snapshot for the daemon "
+                           "admission figure")
+    fgen.add_argument("--out", required=True,
+                      help="output directory for the figure report")
+    fgen.add_argument("--group", choices=["paper", "fleet", "trajectory"])
+    fgen.add_argument("--figure", nargs="*", metavar="NAME",
+                      help="subset of figure names (default: all)")
+    fgen.set_defaults(fn=_cmd_figures_generate)
+
+    fdiff = figsub.add_parser(
+        "diff", help="compare generated figure data against a baseline "
+                     "(exit 1 on drift)")
+    fdiff.add_argument("--baseline", required=True,
+                       help="committed baseline figure directory")
+    fdiff.add_argument("--new", required=True,
+                       help="freshly generated figure directory")
+    fdiff.add_argument("--group", choices=["paper", "fleet", "trajectory"])
+    fdiff.add_argument("--figure", nargs="*", metavar="NAME")
+    fdiff.set_defaults(fn=_cmd_figures_diff)
+
+    fserve = figsub.add_parser(
+        "serve", help="serve a generated report dir, or render via the "
+                      "campaign daemon")
+    fserve.add_argument("--dir", help="static figure directory to serve")
+    fserve.add_argument("--host", default="127.0.0.1")
+    fserve.add_argument("--port", type=int, default=8123)
+    fserve.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="campaign daemon URL (with --job)")
+    fserve.add_argument("--job", help="daemon job id to render figures for")
+    fserve.set_defaults(fn=_cmd_figures_serve)
 
     val = sub.add_parser("validate", help="run the validation matrix")
     val.set_defaults(fn=_cmd_validate)

@@ -12,17 +12,18 @@ from typing import Any
 
 import numpy as np
 
-from repro.analysis.events import EventTable, event_set, inexact_stats
-from repro.analysis.rankpop import (
-    address_rankpop,
-    form_histogram,
-    form_rankpop,
-    forms_only_in,
+from repro.analysis.events import EventTable, event_set
+from repro.analysis.extract import (
+    addr_stats_by_code,
+    code_rankpop_inputs,
+    form_sets_by_code,
+    form_stats_by_code,
+    per_event_counts,
 )
+from repro.analysis.rankpop import form_histogram, forms_only_in
 from repro.analysis.timeline import cumulative_series, rate_series
 from repro.fp.flags import EVENT_ORDER
 from repro.fpspy import fpspy_env
-from repro.isa.instruction import decode_form
 from repro.study.passes import (
     FILTER_NO_INEXACT,
     STUDY_SEED,
@@ -281,8 +282,9 @@ def fig15_inexact_counts(study: Study) -> FigureResult:
     rows = []
     for name in apps:
         r = study.sampled[name]
-        st = inexact_stats(name, r.traces, r.wall_seconds)
-        rows.append({"name": name, "count": st.count, "rate": st.rate})
+        count = per_event_counts(r.traces.all_records()).get("Inexact", 0)
+        rate = count / r.wall_seconds if r.wall_seconds > 0 else 0.0
+        rows.append({"name": name, "count": count, "rate": rate})
     lines = [f"{'name':<10s} {'Inexact events':>15s} {'events/sec':>14s}"]
     for row in rows:
         lines.append(
@@ -352,18 +354,7 @@ def _per_code_records(study: Study) -> dict[str, list]:
 
 def fig17_form_rankpop(study: Study) -> FigureResult:
     """Rank-popularity of rounding instruction forms per code."""
-    per_code = _per_code_records(study)
-    stats = {}
-    for code, recs in per_code.items():
-        rp = form_rankpop(recs, event="Inexact")
-        if len(rp) == 0:
-            continue
-        stats[code] = {
-            "n_forms": len(rp),
-            "rank99": rp.coverage_rank(0.99),
-            "total": rp.total,
-            "top": rp.top(5),
-        }
+    stats = form_stats_by_code(code_rankpop_inputs(_per_code_records(study)))
     lines = [f"{'code':<26s} {'forms':>6s} {'99% rank':>9s} {'events':>10s}"]
     for code, s in sorted(stats.items()):
         lines.append(
@@ -380,12 +371,8 @@ def fig17_form_rankpop(study: Study) -> FigureResult:
 def fig18_form_histogram(study: Study) -> FigureResult:
     """Count of codes showing rounding with each instruction form, and
     the set of GROMACS-only forms."""
-    per_code = _per_code_records(study)
-    per_code_forms = {
-        code: {decode_form(r.insn).mnemonic for r in recs}
-        for code, recs in per_code.items()
-        if recs
-    }
+    per_code_forms = form_sets_by_code(
+        code_rankpop_inputs(_per_code_records(study)))
     gromacs_only = forms_only_in(per_code_forms, "gromacs")
     histogram = form_histogram(per_code_forms, exclude=("gromacs",))
     lines = [f"{'form':<12s} {'codes':>6s}"]
@@ -408,17 +395,7 @@ def fig18_form_histogram(study: Study) -> FigureResult:
 
 def fig19_addr_rankpop(study: Study) -> FigureResult:
     """Rank-popularity of rounding instruction addresses per code."""
-    per_code = _per_code_records(study)
-    stats = {}
-    for code, recs in per_code.items():
-        rp = address_rankpop(recs, event="Inexact")
-        if len(rp) == 0:
-            continue
-        stats[code] = {
-            "n_addresses": len(rp),
-            "rank99": rp.coverage_rank(0.99),
-            "total": rp.total,
-        }
+    stats = addr_stats_by_code(code_rankpop_inputs(_per_code_records(study)))
     lines = [f"{'code':<26s} {'sites':>6s} {'99% rank':>9s} {'events':>10s}"]
     for code, s in sorted(stats.items()):
         lines.append(
